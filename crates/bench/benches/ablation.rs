@@ -1,0 +1,41 @@
+//! Criterion bench for the ablations: cone-scoped vs monolithic query
+//! encodings, and minimal vs raw UNSAT cores (RocketLite scale; the full
+//! ablation suite is the `ablation` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, learn_run_config};
+use hh_smt::EncodeScope;
+use hhoudini::EngineConfig;
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    let rocket = &targets[0];
+    let safe = known_safe_set(rocket.name);
+    for (label, scope) in [("cone", EncodeScope::Cone), ("monolithic", EncodeScope::Monolithic)] {
+        c.bench_function(&format!("ablation/scope_{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = EngineConfig::default();
+                cfg.abduction.scope = scope;
+                let run = learn_run_config(&rocket.design, &safe, 1, cfg, true);
+                assert!(run.invariant.is_some());
+            })
+        });
+    }
+    for (label, minimize) in [("minimal_cores", true), ("raw_cores", false)] {
+        c.bench_function(&format!("ablation/{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = EngineConfig::default();
+                cfg.abduction.minimize = minimize;
+                let run = learn_run_config(&rocket.design, &safe, 1, cfg, true);
+                assert!(run.invariant.is_some());
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

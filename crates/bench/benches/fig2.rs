@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 2: the virtual-core schedule replay used to
+//! produce the core-count sweep, plus a real 1-vs-2-thread learning run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, learn_run};
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    let small = &targets[1];
+    let safe = known_safe_set(small.name);
+    let run = learn_run(&small.design, &safe, 1);
+    assert!(run.invariant.is_some());
+    c.bench_function("fig2/schedule_replay_sweep", |b| {
+        b.iter(|| {
+            let mut total = std::time::Duration::ZERO;
+            for cores in [1usize, 2, 4, 8, 16, 32, 64] {
+                total += run.stats.simulated_time(cores);
+            }
+            total
+        })
+    });
+    for threads in [1usize, 2] {
+        c.bench_function(&format!("fig2/learn_smallboom_{threads}_threads"), |b| {
+            b.iter(|| {
+                let r = learn_run(&small.design, &safe, threads);
+                assert!(r.invariant.is_some());
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

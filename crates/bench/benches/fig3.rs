@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 3: learning time as a function of design
+//! size (RocketLite, Small and Medium BoomLite; the full sweep including
+//! Large/Mega is in the `fig3` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, learn_run};
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    for t in targets.iter().take(3) {
+        let safe = known_safe_set(t.name);
+        c.bench_function(
+            &format!("fig3/learn_{}_{}bits", t.name, t.design.state_bits()),
+            |b| {
+                b.iter(|| {
+                    let run = learn_run(&t.design, &safe, 1);
+                    assert!(run.invariant.is_some());
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

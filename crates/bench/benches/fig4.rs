@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 4: the cost of individual abduction queries
+//! at each design size — the quantity whose median the figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, prepare};
+use hh_smt::{abduct, AbductionConfig, Predicate};
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    for t in targets.iter().take(3) {
+        let safe = known_safe_set(t.name);
+        let (miter, _examples, props, _patterns) = prepare(&t.design, &safe, true);
+        // A representative query: the property over a handful of control
+        // predicates (mirrors the hot path of the learner).
+        let dv_name = if hh_bench::is_boom(t.name) { "disp_valid" } else { "dec_valid" };
+        let dv = t.design.netlist.find_state(dv_name).unwrap();
+        let cands = vec![Predicate::eq(miter.left(dv), miter.right(dv))];
+        let prop = props[0].clone();
+        c.bench_function(&format!("fig4/abduction_query_{}", t.name), |b| {
+            b.iter(|| abduct(miter.netlist(), &prop, &cands, &AbductionConfig::paper_default()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

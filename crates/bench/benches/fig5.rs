@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 5: the serial engine run whose task/backtrack
+//! counters the figure reports (SmallBoomLite scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, learn_run_serial};
+use hhoudini::EngineConfig;
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    let small = &targets[1];
+    let safe = known_safe_set(small.name);
+    c.bench_function("fig5/serial_learn_smallboom", |b| {
+        b.iter(|| {
+            let run = learn_run_serial(&small.design, &safe, EngineConfig::default());
+            assert!(run.invariant.is_some());
+            (run.stats.num_tasks(), run.stats.backtracks)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

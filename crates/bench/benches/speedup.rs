@@ -1,0 +1,39 @@
+//! Criterion bench for the §6.3 headline comparison: hierarchical vs
+//! monolithic learning on RocketLite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, learn_run};
+use hhoudini::baselines::BaselineBudget;
+use veloct::{BaselineKind, Veloct, VeloctConfig};
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    let rocket = &targets[0];
+    let safe = known_safe_set(rocket.name);
+    c.bench_function("speedup/hhoudini_rocketlite", |b| {
+        b.iter(|| {
+            let run = learn_run(&rocket.design, &safe, 1);
+            assert!(run.invariant.is_some());
+        })
+    });
+    let v = Veloct::with_config(
+        &rocket.design,
+        VeloctConfig { threads: 1, pairs_per_instr: 1, ..VeloctConfig::default() },
+    );
+    let budget = BaselineBudget::default();
+    for kind in [BaselineKind::Houdini, BaselineKind::Sorcar] {
+        c.bench_function(&format!("speedup/{kind:?}_rocketlite"), |b| {
+            b.iter(|| {
+                let r = v.learn_baseline(&safe, kind, &budget);
+                assert!(r.invariant.is_some());
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Table 1: one full invariant-learning run per design
+//! (RocketLite and SmallBoomLite; larger variants are covered by the
+//! `table1` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{all_targets, known_safe_set, learn_run};
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    for t in targets.iter().take(2) {
+        let safe = known_safe_set(t.name);
+        c.bench_function(&format!("table1/learn_{}", t.name), |b| {
+            b.iter(|| {
+                let run = learn_run(&t.design, &safe, 1);
+                assert!(run.invariant.is_some());
+                run.invariant.unwrap().len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

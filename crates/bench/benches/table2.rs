@@ -1,0 +1,30 @@
+//! Criterion bench for Table 2: full safe-set classification on RocketLite
+//! (the larger designs are covered by the `table2` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::all_targets;
+use veloct::{default_candidates, Veloct, VeloctConfig};
+
+fn bench(c: &mut Criterion) {
+    let targets = all_targets();
+    let rocket = &targets[0];
+    let cands = default_candidates();
+    c.bench_function("table2/classify_rocketlite", |b| {
+        b.iter(|| {
+            let v = Veloct::with_config(
+                &rocket.design,
+                VeloctConfig { threads: 1, pairs_per_instr: 1, ..VeloctConfig::default() },
+            );
+            let r = v.classify(&cands);
+            assert!(r.invariant.is_some());
+            r.safe.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

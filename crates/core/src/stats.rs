@@ -1,0 +1,220 @@
+//! Learning-run telemetry: the task tree, SMT-time accounting, and the
+//! virtual-core scheduler used to regenerate the paper's Figures 2–5.
+//!
+//! Each H-Houdini *task* (one execution of the function body for one target
+//! predicate, paper §6.3) records its own work time, its SMT time and the
+//! task that discovered it. The resulting task DAG is exactly the structure
+//! the paper parallelises, so given the per-task durations we can replay the
+//! run on any number of virtual cores (greedy list scheduling) — including
+//! the paper's "∞ cores" span measurement — independent of how many physical
+//! cores this machine has.
+
+use crate::store::PredId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// One H-Houdini task (a non-memoised solve of one target predicate).
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// Target predicate of the task.
+    pub pred: PredId,
+    /// Index of the discovering (parent) task, if any.
+    pub parent: Option<usize>,
+    /// The task's own work time (mining + SMT queries + bookkeeping),
+    /// excluding time spent inside recursive child tasks.
+    pub duration: Duration,
+    /// Time spent inside SMT solving.
+    pub smt_time: Duration,
+    /// Number of abduction queries issued (>1 means backtracking).
+    pub queries: usize,
+}
+
+/// Aggregated statistics of one learning run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// All executed tasks, in discovery order (parents precede children).
+    pub tasks: Vec<TaskRecord>,
+    /// Memo-table hits (tasks avoided).
+    pub memo_hits: usize,
+    /// Backtracks: abducts that had to be abandoned because a member
+    /// predicate turned out to have no solution.
+    pub backtracks: usize,
+    /// Total abduction/induction queries issued.
+    pub smt_queries: usize,
+    /// Individual SMT query durations.
+    pub query_durations: Vec<Duration>,
+    /// Total SMT time.
+    pub smt_time: Duration,
+    /// Total task (function body) time.
+    pub task_time: Duration,
+    /// End-to-end wall-clock of the learning call.
+    pub wall_time: Duration,
+}
+
+impl Stats {
+    /// Number of tasks executed.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Median of the individual SMT query durations (Figure 4).
+    pub fn median_smt_query(&self) -> Duration {
+        median(&mut self.query_durations.clone())
+    }
+
+    /// Median task duration (Figure 4).
+    pub fn median_task(&self) -> Duration {
+        let mut d: Vec<Duration> = self.tasks.iter().map(|t| t.duration).collect();
+        median(&mut d)
+    }
+
+    /// The `q`-th percentile (0–100) of task durations (the paper quotes
+    /// p95/p99 for MegaBOOM).
+    pub fn task_percentile(&self, q: f64) -> Duration {
+        let mut d: Vec<Duration> = self.tasks.iter().map(|t| t.duration).collect();
+        if d.is_empty() {
+            return Duration::ZERO;
+        }
+        d.sort_unstable();
+        let idx = ((q / 100.0) * (d.len() as f64 - 1.0)).round() as usize;
+        d[idx.min(d.len() - 1)]
+    }
+
+    /// Fraction of task time spent inside the SMT solver (Figure 4 reports
+    /// roughly 50%).
+    pub fn smt_fraction(&self) -> f64 {
+        if self.task_time.is_zero() {
+            return 0.0;
+        }
+        self.smt_time.as_secs_f64() / self.task_time.as_secs_f64()
+    }
+
+    /// Replays the task DAG on `cores` virtual cores with greedy list
+    /// scheduling: a task becomes ready when its discovering task finishes.
+    /// This regenerates the paper's core-count sweeps (Figure 2) and, with
+    /// `cores = usize::MAX`, the ∞-core span (Figure 3).
+    pub fn simulated_time(&self, cores: usize) -> Duration {
+        assert!(cores >= 1);
+        let n = self.tasks.len();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        // Children lists.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            if let Some(p) = t.parent {
+                children[p].push(i);
+            }
+        }
+        // Ready heap keyed by ready time (then discovery order).
+        let mut ready: BinaryHeap<Reverse<(Duration, usize)>> = BinaryHeap::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.parent.is_none() {
+                ready.push(Reverse((Duration::ZERO, i)));
+            }
+        }
+        // Core availability times.
+        let physical = cores.min(n);
+        let mut free: BinaryHeap<Reverse<Duration>> = BinaryHeap::new();
+        for _ in 0..physical {
+            free.push(Reverse(Duration::ZERO));
+        }
+        let mut makespan = Duration::ZERO;
+        while let Some(Reverse((ready_at, task))) = ready.pop() {
+            let Reverse(core_at) = free.pop().expect("core available");
+            let start = ready_at.max(core_at);
+            let finish = start + self.tasks[task].duration;
+            free.push(Reverse(finish));
+            makespan = makespan.max(finish);
+            for &c in &children[task] {
+                ready.push(Reverse((finish, c)));
+            }
+        }
+        makespan
+    }
+
+    /// The ∞-core span of the task DAG.
+    pub fn span(&self) -> Duration {
+        self.simulated_time(usize::MAX)
+    }
+
+    pub(crate) fn record_query(&mut self, d: Duration) {
+        self.smt_queries += 1;
+        self.smt_time += d;
+        self.query_durations.push(d);
+    }
+}
+
+fn median(d: &mut [Duration]) -> Duration {
+    if d.is_empty() {
+        return Duration::ZERO;
+    }
+    d.sort_unstable();
+    d[d.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(pred: u32, parent: Option<usize>, ms: u64) -> TaskRecord {
+        TaskRecord {
+            pred: PredId(pred),
+            parent,
+            duration: Duration::from_millis(ms),
+            smt_time: Duration::from_millis(ms / 2),
+            queries: 1,
+        }
+    }
+
+    /// Root (10ms) discovering two children (20ms, 30ms).
+    fn tree() -> Stats {
+        Stats {
+            tasks: vec![task(0, None, 10), task(1, Some(0), 20), task(2, Some(0), 30)],
+            ..Stats::default()
+        }
+    }
+
+    #[test]
+    fn one_core_is_serial_sum() {
+        let s = tree();
+        assert_eq!(s.simulated_time(1), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn many_cores_reach_span() {
+        let s = tree();
+        // Children run in parallel after the root: 10 + max(20, 30).
+        assert_eq!(s.simulated_time(2), Duration::from_millis(40));
+        assert_eq!(s.span(), Duration::from_millis(40));
+        assert_eq!(s.simulated_time(64), s.span());
+    }
+
+    #[test]
+    fn chains_do_not_parallelise() {
+        let s = Stats {
+            tasks: vec![task(0, None, 10), task(1, Some(0), 10), task(2, Some(1), 10)],
+            ..Stats::default()
+        };
+        assert_eq!(s.span(), Duration::from_millis(30));
+        assert_eq!(s.simulated_time(8), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn medians_and_percentiles() {
+        let s = tree();
+        assert_eq!(s.median_task(), Duration::from_millis(20));
+        assert_eq!(s.task_percentile(100.0), Duration::from_millis(30));
+        assert_eq!(s.task_percentile(0.0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = Stats::default();
+        assert_eq!(s.simulated_time(4), Duration::ZERO);
+        assert_eq!(s.median_task(), Duration::ZERO);
+        assert_eq!(s.median_smt_query(), Duration::ZERO);
+        assert_eq!(s.smt_fraction(), 0.0);
+    }
+}

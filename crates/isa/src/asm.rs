@@ -1,0 +1,111 @@
+//! Tiny assembler helpers: ergonomic constructors for common instructions.
+//!
+//! Positive-example generation (paper §5.2) builds short programs — NOP
+//! padding around a safe instruction under test — and these helpers keep that
+//! code readable.
+
+use crate::{Instruction, Mnemonic};
+
+/// `add rd, rs1, rs2`
+pub fn add(rd: u8, rs1: u8, rs2: u8) -> Instruction {
+    Instruction::rtype(Mnemonic::Add, rd, rs1, rs2)
+}
+
+/// `sub rd, rs1, rs2`
+pub fn sub(rd: u8, rs1: u8, rs2: u8) -> Instruction {
+    Instruction::rtype(Mnemonic::Sub, rd, rs1, rs2)
+}
+
+/// `mul rd, rs1, rs2`
+pub fn mul(rd: u8, rs1: u8, rs2: u8) -> Instruction {
+    Instruction::rtype(Mnemonic::Mul, rd, rs1, rs2)
+}
+
+/// `addi rd, rs1, imm`
+pub fn addi(rd: u8, rs1: u8, imm: i32) -> Instruction {
+    Instruction::itype(Mnemonic::Addi, rd, rs1, imm)
+}
+
+/// `xori rd, rs1, imm`
+pub fn xori(rd: u8, rs1: u8, imm: i32) -> Instruction {
+    Instruction::itype(Mnemonic::Xori, rd, rs1, imm)
+}
+
+/// `lui rd, imm20`
+pub fn lui(rd: u8, imm: i32) -> Instruction {
+    Instruction::utype(Mnemonic::Lui, rd, imm)
+}
+
+/// `auipc rd, imm20`
+pub fn auipc(rd: u8, imm: i32) -> Instruction {
+    Instruction::utype(Mnemonic::Auipc, rd, imm)
+}
+
+/// `lw rd, imm(rs1)`
+pub fn lw(rd: u8, rs1: u8, imm: i32) -> Instruction {
+    Instruction::itype(Mnemonic::Lw, rd, rs1, imm)
+}
+
+/// `sw rs2, imm(rs1)`
+pub fn sw(rs1: u8, rs2: u8, imm: i32) -> Instruction {
+    Instruction::stype(Mnemonic::Sw, rs1, rs2, imm)
+}
+
+/// `beq rs1, rs2, offset`
+pub fn beq(rs1: u8, rs2: u8, offset: i32) -> Instruction {
+    Instruction::btype(Mnemonic::Beq, rs1, rs2, offset)
+}
+
+/// `nop` (`addi x0, x0, 0`)
+pub fn nop() -> Instruction {
+    Instruction::nop()
+}
+
+/// A canonical exemplar of any mnemonic with the given operand registers
+/// (register fields that the format lacks are ignored). Immediates default
+/// to small in-range values.
+pub fn exemplar(m: Mnemonic, rd: u8, rs1: u8, rs2: u8) -> Instruction {
+    use crate::Format;
+    match m.format() {
+        Format::R => Instruction::rtype(m, rd, rs1, rs2),
+        Format::I => {
+            let imm = match m {
+                // Shift amounts must be small.
+                Mnemonic::Slli | Mnemonic::Srli | Mnemonic::Srai => 3,
+                // Loads address the base register directly so cache-timing
+                // probes hit/miss on the register value itself.
+                Mnemonic::Lw => 0,
+                _ => 5,
+            };
+            Instruction::itype(m, rd, rs1, imm)
+        }
+        Format::U => Instruction::utype(m, rd, 0x11),
+        Format::S => Instruction::stype(m, rs1, rs2, 0),
+        Format::B => Instruction::btype(m, rs1, rs2, 8),
+        Format::J => Instruction::jtype(m, rd, 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ALL_MNEMONICS;
+
+    #[test]
+    fn helpers_produce_expected_mnemonics() {
+        assert_eq!(add(1, 2, 3).mnemonic, Mnemonic::Add);
+        assert_eq!(addi(1, 2, -3).imm, -3);
+        assert_eq!(nop().encode(), 0x13);
+        assert_eq!(sw(1, 2, 4).mnemonic, Mnemonic::Sw);
+        assert_eq!(beq(1, 2, 8).mnemonic, Mnemonic::Beq);
+    }
+
+    #[test]
+    fn exemplars_decode_to_their_mnemonic() {
+        for &m in ALL_MNEMONICS {
+            let i = exemplar(m, 3, 1, 2);
+            let d = crate::Instruction::decode(i.encode()).unwrap();
+            assert_eq!(d.mnemonic, m);
+        }
+    }
+}

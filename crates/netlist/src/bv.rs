@@ -1,0 +1,369 @@
+//! Fixed-width bit-vector values.
+//!
+//! All word-level signals in the IR are at most 64 bits wide, so a value is a
+//! `(width, bits)` pair stored in a `u64` with the invariant that bits above
+//! the width are zero. That keeps concrete simulation allocation-free, which
+//! matters because positive-example generation simulates thousands of cycles.
+
+use std::fmt;
+
+/// Maximum supported signal width in bits.
+pub const MAX_WIDTH: u32 = 64;
+
+/// A bit-vector value of a fixed width between 1 and [`MAX_WIDTH`] bits.
+///
+/// ```
+/// use hh_netlist::Bv;
+/// let a = Bv::new(8, 0xff);
+/// let b = Bv::new(8, 1);
+/// assert_eq!(a.wrapping_add(b), Bv::new(8, 0)); // arithmetic wraps at width
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bv {
+    width: u32,
+    bits: u64,
+}
+
+impl Bv {
+    /// Creates a value, truncating `bits` to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    #[inline]
+    pub fn new(width: u32, bits: u64) -> Bv {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "width {width} out of range 1..={MAX_WIDTH}"
+        );
+        Bv {
+            width,
+            bits: bits & mask(width),
+        }
+    }
+
+    /// The all-zeros value of the given width.
+    #[inline]
+    pub fn zero(width: u32) -> Bv {
+        Bv::new(width, 0)
+    }
+
+    /// The all-ones value of the given width.
+    #[inline]
+    pub fn ones(width: u32) -> Bv {
+        Bv::new(width, mask(width))
+    }
+
+    /// A single-bit value.
+    #[inline]
+    pub fn bit(b: bool) -> Bv {
+        Bv::new(1, b as u64)
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The raw bits (upper bits guaranteed zero).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// `true` if this is a 1-bit value equal to 1.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self.width == 1 && self.bits == 1
+    }
+
+    /// Whether any bit is set.
+    #[inline]
+    pub fn is_nonzero(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Extracts bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn get_bit(self, i: u32) -> bool {
+        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// The value sign-extended to 64 bits, as a signed integer.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        let shift = 64 - self.width;
+        ((self.bits << shift) as i64) >> shift
+    }
+
+    fn same_width(self, rhs: Bv) -> u32 {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+        self.width
+    }
+
+    /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)] // named after the btor2 operator
+    pub fn not(self) -> Bv {
+        Bv::new(self.width, !self.bits)
+    }
+
+    /// Two's-complement negation at this width.
+    pub fn wrapping_neg(self) -> Bv {
+        Bv::new(self.width, self.bits.wrapping_neg())
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    pub fn and(self, rhs: Bv) -> Bv {
+        Bv::new(self.same_width(rhs), self.bits & rhs.bits)
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    pub fn or(self, rhs: Bv) -> Bv {
+        Bv::new(self.same_width(rhs), self.bits | rhs.bits)
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    pub fn xor(self, rhs: Bv) -> Bv {
+        Bv::new(self.same_width(rhs), self.bits ^ rhs.bits)
+    }
+
+    /// Addition modulo `2^width`. Panics on width mismatch.
+    pub fn wrapping_add(self, rhs: Bv) -> Bv {
+        Bv::new(self.same_width(rhs), self.bits.wrapping_add(rhs.bits))
+    }
+
+    /// Subtraction modulo `2^width`. Panics on width mismatch.
+    pub fn wrapping_sub(self, rhs: Bv) -> Bv {
+        Bv::new(self.same_width(rhs), self.bits.wrapping_sub(rhs.bits))
+    }
+
+    /// Multiplication modulo `2^width`. Panics on width mismatch.
+    pub fn wrapping_mul(self, rhs: Bv) -> Bv {
+        Bv::new(self.same_width(rhs), self.bits.wrapping_mul(rhs.bits))
+    }
+
+    /// Equality as a 1-bit value. Panics on width mismatch.
+    pub fn eq_bit(self, rhs: Bv) -> Bv {
+        self.same_width(rhs);
+        Bv::bit(self.bits == rhs.bits)
+    }
+
+    /// Unsigned less-than as a 1-bit value. Panics on width mismatch.
+    pub fn ult(self, rhs: Bv) -> Bv {
+        self.same_width(rhs);
+        Bv::bit(self.bits < rhs.bits)
+    }
+
+    /// Signed less-than as a 1-bit value. Panics on width mismatch.
+    pub fn slt(self, rhs: Bv) -> Bv {
+        self.same_width(rhs);
+        Bv::bit(self.as_i64() < rhs.as_i64())
+    }
+
+    /// Logical shift left by `rhs` (shift amount read as unsigned; shifts of
+    /// `width` or more produce zero).
+    #[allow(clippy::should_implement_trait)] // named after the btor2 operator
+    pub fn shl(self, rhs: Bv) -> Bv {
+        let sh = rhs.bits;
+        if sh >= self.width as u64 {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.bits << sh)
+        }
+    }
+
+    /// Logical shift right by `rhs`.
+    pub fn lshr(self, rhs: Bv) -> Bv {
+        let sh = rhs.bits;
+        if sh >= self.width as u64 {
+            Bv::zero(self.width)
+        } else {
+            Bv::new(self.width, self.bits >> sh)
+        }
+    }
+
+    /// Arithmetic shift right by `rhs` (sign-fill).
+    pub fn ashr(self, rhs: Bv) -> Bv {
+        let sh = rhs.bits.min(self.width as u64 - 1);
+        Bv::new(self.width, (self.as_i64() >> sh) as u64)
+    }
+
+    /// OR-reduction to 1 bit.
+    pub fn redor(self) -> Bv {
+        Bv::bit(self.bits != 0)
+    }
+
+    /// AND-reduction to 1 bit.
+    pub fn redand(self) -> Bv {
+        Bv::bit(self.bits == mask(self.width))
+    }
+
+    /// XOR-reduction (parity) to 1 bit.
+    pub fn redxor(self) -> Bv {
+        Bv::bit(self.bits.count_ones() & 1 == 1)
+    }
+
+    /// Concatenation: `self` becomes the high bits, `low` the low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(self, low: Bv) -> Bv {
+        let w = self.width + low.width;
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        Bv::new(w, (self.bits << low.width) | low.bits)
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn slice(self, hi: u32, lo: u32) -> Bv {
+        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        Bv::new(hi - lo + 1, self.bits >> lo)
+    }
+
+    /// Zero-extends to `to` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < width` or `to > MAX_WIDTH`.
+    pub fn uext(self, to: u32) -> Bv {
+        assert!(to >= self.width, "uext shrinks width");
+        Bv::new(to, self.bits)
+    }
+
+    /// Sign-extends to `to` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < width` or `to > MAX_WIDTH`.
+    pub fn sext(self, to: u32) -> Bv {
+        assert!(to >= self.width, "sext shrinks width");
+        Bv::new(to, self.as_i64() as u64)
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.bits)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{:b}", self.width, self.bits)
+    }
+}
+
+#[inline]
+pub(crate) fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_truncates() {
+        assert_eq!(Bv::new(4, 0x1f).bits(), 0xf);
+        assert_eq!(Bv::new(64, u64::MAX).bits(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 out of range")]
+    fn zero_width_panics() {
+        Bv::new(0, 0);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = Bv::new(4, 0xf);
+        assert_eq!(a.wrapping_add(Bv::new(4, 1)), Bv::zero(4));
+        assert_eq!(Bv::zero(4).wrapping_sub(Bv::new(4, 1)), Bv::ones(4));
+        assert_eq!(Bv::new(4, 8).wrapping_mul(Bv::new(4, 2)), Bv::zero(4));
+        assert_eq!(Bv::new(4, 3).wrapping_mul(Bv::new(4, 5)), Bv::new(4, 15));
+    }
+
+    #[test]
+    fn signed_view() {
+        assert_eq!(Bv::new(4, 0xf).as_i64(), -1);
+        assert_eq!(Bv::new(4, 7).as_i64(), 7);
+        assert_eq!(Bv::new(4, 8).as_i64(), -8);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bv::new(8, 0x80);
+        let b = Bv::new(8, 0x01);
+        assert!(b.ult(a).is_true());
+        assert!(a.slt(b).is_true()); // 0x80 = -128 signed
+        assert!(a.eq_bit(a).is_true());
+        assert!(!a.eq_bit(b).is_true());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Bv::new(8, 0x81);
+        assert_eq!(a.shl(Bv::new(3, 1)), Bv::new(8, 0x02));
+        assert_eq!(a.lshr(Bv::new(3, 1)), Bv::new(8, 0x40));
+        assert_eq!(a.ashr(Bv::new(3, 1)), Bv::new(8, 0xc0));
+        // Oversized shift amounts.
+        assert_eq!(a.shl(Bv::new(8, 200)), Bv::zero(8));
+        assert_eq!(a.lshr(Bv::new(8, 200)), Bv::zero(8));
+        assert_eq!(a.ashr(Bv::new(8, 200)), Bv::ones(8)); // sign fill
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bv::new(4, 0b1010).redor().is_true());
+        assert!(!Bv::zero(4).redor().is_true());
+        assert!(Bv::ones(4).redand().is_true());
+        assert!(!Bv::new(4, 0b1110).redand().is_true());
+        assert!(Bv::new(4, 0b0111).redxor().is_true());
+        assert!(!Bv::new(4, 0b0110).redxor().is_true());
+    }
+
+    #[test]
+    fn structure_ops() {
+        let hi = Bv::new(4, 0xa);
+        let lo = Bv::new(4, 0x5);
+        let c = hi.concat(lo);
+        assert_eq!(c, Bv::new(8, 0xa5));
+        assert_eq!(c.slice(7, 4), hi);
+        assert_eq!(c.slice(3, 0), lo);
+        assert_eq!(c.slice(4, 4), Bv::bit(false));
+        assert_eq!(lo.uext(8), Bv::new(8, 5));
+        assert_eq!(Bv::new(4, 0x8).sext(8), Bv::new(8, 0xf8));
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Bv::new(8, 0xa5);
+        assert_eq!(v.to_string(), "8'd165");
+        assert_eq!(format!("{v:x}"), "8'ha5");
+        assert_eq!(format!("{v:b}"), "8'b10100101");
+    }
+}

@@ -1,0 +1,189 @@
+//! Cone-of-influence analysis — the slicing oracle `O_slice` of the paper.
+//!
+//! For a target predicate over state variables `V_p`, the H-Houdini recursion
+//! needs the set of state elements that can influence the *next* value of
+//! `V_p` in one step of the transition system (§3.2, line 9 of Algorithm 1):
+//! the state support of the next-state functions of `V_p`. [`Coi`]
+//! precomputes the per-state support once so that each of the thousands of
+//! per-task queries is a cheap set union.
+
+use crate::netlist::{InputId, Netlist, NodeId, NodeOp, StateId};
+use std::collections::BTreeSet;
+
+/// Computes the state and input support of a combinational node by walking
+/// its fanin cone.
+///
+/// Returns sorted, deduplicated vectors.
+pub fn node_support(netlist: &Netlist, root: NodeId) -> (Vec<StateId>, Vec<InputId>) {
+    let mut seen = vec![false; netlist.num_nodes()];
+    let mut states = BTreeSet::new();
+    let mut inputs = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        match netlist.node(id).op {
+            NodeOp::State(s) => {
+                states.insert(s);
+            }
+            NodeOp::Input(i) => {
+                inputs.insert(i);
+            }
+            _ => stack.extend(netlist.operands(id)),
+        }
+    }
+    (states.into_iter().collect(), inputs.into_iter().collect())
+}
+
+/// Precomputed 1-step cone-of-influence table: for every state element, the
+/// states and inputs its next-state function reads.
+#[derive(Debug, Clone)]
+pub struct Coi {
+    state_deps: Vec<Vec<StateId>>,
+    input_deps: Vec<Vec<InputId>>,
+}
+
+impl Coi {
+    /// Analyses a complete netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state lacks a next function.
+    pub fn new(netlist: &Netlist) -> Coi {
+        let mut state_deps = Vec::with_capacity(netlist.num_states());
+        let mut input_deps = Vec::with_capacity(netlist.num_states());
+        for s in netlist.state_ids() {
+            let (st, inp) = node_support(netlist, netlist.next_of(s));
+            state_deps.push(st);
+            input_deps.push(inp);
+        }
+        Coi {
+            state_deps,
+            input_deps,
+        }
+    }
+
+    /// The state elements read by the next-state function of `s`.
+    pub fn states_of(&self, s: StateId) -> &[StateId] {
+        &self.state_deps[s.index()]
+    }
+
+    /// The inputs read by the next-state function of `s`.
+    pub fn inputs_of(&self, s: StateId) -> &[InputId] {
+        &self.input_deps[s.index()]
+    }
+
+    /// `O_slice`: the union of 1-step cones of the given target variables —
+    /// every state element that can influence any of them in one transition.
+    pub fn one_step(&self, targets: &[StateId]) -> Vec<StateId> {
+        let mut out = BTreeSet::new();
+        for &t in targets {
+            out.extend(self.states_of(t).iter().copied());
+        }
+        out.into_iter().collect()
+    }
+
+    /// The transitive (fixed-point) cone of influence of the given targets:
+    /// all states that can ever influence them. Useful for sanity checks and
+    /// for pruning designs before monolithic baseline runs.
+    pub fn transitive(&self, targets: &[StateId]) -> Vec<StateId> {
+        let mut reached: BTreeSet<StateId> = targets.iter().copied().collect();
+        let mut frontier: Vec<StateId> = targets.to_vec();
+        while let Some(t) = frontier.pop() {
+            for &d in self.states_of(t) {
+                if reached.insert(d) {
+                    frontier.push(d);
+                }
+            }
+        }
+        reached.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+    use crate::netlist::Netlist;
+
+    /// Three-register pipeline a -> b -> c plus an unrelated register u.
+    fn pipeline() -> (Netlist, [StateId; 4]) {
+        let mut n = Netlist::new("pipe");
+        let a = n.state("a", 4, Bv::zero(4));
+        let b = n.state("b", 4, Bv::zero(4));
+        let c = n.state("c", 4, Bv::zero(4));
+        let u = n.state("u", 4, Bv::zero(4));
+        let i = n.input("i", 4);
+        n.set_next(a, i);
+        let an = n.state_node(a);
+        n.set_next(b, an);
+        let bn = n.state_node(b);
+        n.set_next(c, bn);
+        n.keep_state(u);
+        (n, [a, b, c, u])
+    }
+
+    #[test]
+    fn one_step_coi_is_direct_predecessors() {
+        let (n, [a, b, c, u]) = pipeline();
+        let coi = Coi::new(&n);
+        assert_eq!(coi.one_step(&[c]), vec![b]);
+        assert_eq!(coi.one_step(&[b]), vec![a]);
+        assert_eq!(coi.one_step(&[a]), vec![]); // input only
+        assert_eq!(coi.one_step(&[u]), vec![u]); // self-loop
+        assert_eq!(coi.one_step(&[b, c]), vec![a, b]);
+    }
+
+    #[test]
+    fn input_deps_recorded() {
+        let (n, [a, b, _, _]) = pipeline();
+        let coi = Coi::new(&n);
+        assert_eq!(coi.inputs_of(a).len(), 1);
+        assert!(coi.inputs_of(b).is_empty());
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (n, [a, b, c, u]) = pipeline();
+        let coi = Coi::new(&n);
+        assert_eq!(coi.transitive(&[c]), vec![a, b, c]);
+        assert_eq!(coi.transitive(&[u]), vec![u]);
+    }
+
+    #[test]
+    fn node_support_sees_through_logic() {
+        let mut n = Netlist::new("t");
+        let a = n.state("a", 1, Bv::bit(false));
+        let b = n.state("b", 1, Bv::bit(false));
+        let i = n.input("i", 1);
+        let an = n.state_node(a);
+        let bn = n.state_node(b);
+        let x = n.and(an, bn);
+        let y = n.or(x, i);
+        let (st, inp) = node_support(&n, y);
+        assert_eq!(st, vec![a, b]);
+        assert_eq!(inp.len(), 1);
+    }
+
+    #[test]
+    fn coi_respects_mux_structure() {
+        // next(r) = ite(sel, x, y): all of sel, x, y are in the cone.
+        let mut n = Netlist::new("t");
+        let r = n.state("r", 4, Bv::zero(4));
+        let sel = n.state("sel", 1, Bv::bit(false));
+        let x = n.state("x", 4, Bv::zero(4));
+        let y = n.state("y", 4, Bv::zero(4));
+        let seln = n.state_node(sel);
+        let xn = n.state_node(x);
+        let yn = n.state_node(y);
+        let nxt = n.ite(seln, xn, yn);
+        n.set_next(r, nxt);
+        n.keep_state(sel);
+        n.keep_state(x);
+        n.keep_state(y);
+        let coi = Coi::new(&n);
+        assert_eq!(coi.one_step(&[r]), vec![sel, x, y]);
+    }
+}

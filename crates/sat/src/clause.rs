@@ -1,0 +1,151 @@
+//! Clause storage.
+//!
+//! Clauses live in a [`ClauseDb`] arena and are addressed by [`ClauseRef`].
+//! Learnt clauses can be deleted during database reduction; deletion is a
+//! tombstone (the slot is never reused) so that `ClauseRef`s held as reasons
+//! stay valid between reductions — the solver rebuilds watch lists after each
+//! reduction and never dereferences a deleted clause.
+
+use crate::lit::Lit;
+
+/// Reference to a clause inside a [`ClauseDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+/// A single clause: a disjunction of literals.
+#[derive(Debug)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    /// Whether this clause was learnt during conflict analysis (eligible for
+    /// deletion) as opposed to part of the original problem.
+    pub(crate) learnt: bool,
+    /// Tombstone flag; set by database reduction.
+    pub(crate) deleted: bool,
+    /// Activity, bumped when the clause participates in conflict analysis.
+    pub(crate) activity: f64,
+    /// Literal-block distance at learn time (glue level); clauses with low
+    /// LBD are kept forever.
+    pub(crate) lbd: u32,
+}
+
+impl Clause {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// Arena of clauses.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of live (non-deleted) learnt clauses.
+    pub(crate) num_learnts: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let cref = ClauseRef(self.clauses.len() as u32);
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd,
+        });
+        cref
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.0 as usize]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.0 as usize]
+    }
+
+    pub(crate) fn delete(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        debug_assert!(!c.deleted);
+        if c.learnt {
+            self.num_learnts -= 1;
+        }
+        c.deleted = true;
+        c.lits = Vec::new(); // release memory
+    }
+
+    /// Iterates over the refs of all live clauses.
+    pub(crate) fn live_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Refs of live learnt clauses.
+    pub(crate) fn learnt_refs(&self) -> Vec<ClauseRef> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted && c.learnt)
+            .map(|(i, _)| ClauseRef(i as u32))
+            .collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(n: usize) -> Vec<Lit> {
+        (0..n).map(|i| Var::from_index(i).positive()).collect()
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(lits(3), false, 0);
+        assert_eq!(db.get(c).len(), 3);
+        assert!(!db.get(c).learnt);
+        assert_eq!(db.num_learnts, 0);
+    }
+
+    #[test]
+    fn learnt_accounting() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(2), true, 2);
+        let _b = db.alloc(lits(3), true, 3);
+        assert_eq!(db.num_learnts, 2);
+        db.delete(a);
+        assert_eq!(db.num_learnts, 1);
+        assert_eq!(db.learnt_refs().len(), 1);
+        assert_eq!(db.live_refs().count(), 1);
+    }
+
+    #[test]
+    fn delete_is_tombstone() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(2), true, 2);
+        let b = db.alloc(lits(2), true, 2);
+        db.delete(a);
+        // b's ref is still valid and points at the same clause.
+        assert_eq!(db.get(b).len(), 2);
+        assert_eq!(db.len(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal DIMACS CNF reader/writer.
+//!
+//! Useful for debugging the bit-blaster (dump a query, inspect it with an
+//! external solver) and for loading standard benchmark instances into
+//! [`crate::Solver`] in tests.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+use std::fmt::Write as _;
+
+/// A parsed CNF formula: the number of variables and the clause list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (DIMACS header value).
+    pub num_vars: usize,
+    /// Clauses over literals `1..=num_vars` encoded as [`Lit`]s.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Errors produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token was not an integer literal.
+    BadToken(String),
+    /// A literal refers to a variable beyond the header's variable count.
+    VarOutOfRange(i64),
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(s) => write!(f, "bad DIMACS header: {s}"),
+            ParseDimacsError::BadToken(s) => write!(f, "bad DIMACS token: {s}"),
+            ParseDimacsError::VarOutOfRange(v) => write!(f, "variable out of range: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Comment lines (`c ...`) are skipped; the clause count in the header is not
+/// enforced (many real files get it wrong).
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens or
+/// out-of-range variables.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(ParseDimacsError::BadHeader(line.to_string()));
+            }
+            num_vars = Some(
+                parts[2]
+                    .parse()
+                    .map_err(|_| ParseDimacsError::BadHeader(line.to_string()))?,
+            );
+            continue;
+        }
+        let nv = num_vars.ok_or_else(|| ParseDimacsError::BadHeader("missing".into()))?;
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::BadToken(tok.to_string()))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let v = n.unsigned_abs() as usize;
+                if v > nv {
+                    return Err(ParseDimacsError::VarOutOfRange(n));
+                }
+                current.push(Var::from_index(v - 1).lit(n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf {
+        num_vars: num_vars.ok_or_else(|| ParseDimacsError::BadHeader("missing".into()))?,
+        clauses,
+    })
+}
+
+/// Renders a CNF in DIMACS format.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for &l in clause {
+            let n = l.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_positive() { n } else { -n });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Loads a CNF into a fresh solver (creating `num_vars` variables).
+pub fn load_into_solver(cnf: &Cnf) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..cnf.num_vars {
+        s.new_var();
+    }
+    for clause in &cnf.clauses {
+        s.add_clause(clause);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let re = parse_dimacs(&to_dimacs(&cnf)).unwrap();
+        assert_eq!(cnf, re);
+    }
+
+    #[test]
+    fn solve_parsed_instance() {
+        let text = "p cnf 2 3\n1 2 0\n-1 2 0\n-2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        let mut s = load_into_solver(&cnf);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_dimacs("p dnf 1 1\n1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_var() {
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n2 0\n"),
+            Err(ParseDimacsError::VarOutOfRange(2))
+        ));
+    }
+
+    #[test]
+    fn clause_without_trailing_zero() {
+        let cnf = parse_dimacs("p cnf 2 1\n1 -2").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+}

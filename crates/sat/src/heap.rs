@@ -1,0 +1,195 @@
+//! Indexed max-heap over variable activities (VSIDS decision order).
+//!
+//! The heap stores variable indices ordered by an external activity array and
+//! supports decrease/increase-key via a position map, as required when
+//! conflict analysis bumps activities of variables already in the heap.
+
+use crate::lit::Var;
+
+/// Max-heap of variables keyed by activity.
+#[derive(Debug, Default)]
+pub(crate) struct VarOrderHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `NOT_IN` if absent.
+    pos: Vec<u32>,
+}
+
+const NOT_IN: u32 = u32::MAX;
+
+impl VarOrderHeap {
+    pub(crate) fn new() -> VarOrderHeap {
+        VarOrderHeap::default()
+    }
+
+    /// Registers a new variable (initially absent from the heap).
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        self.pos.resize(num_vars, NOT_IN);
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != NOT_IN
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as u32;
+        self.heap.push(v.0);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = NOT_IN;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    pub(crate) fn decrease_key(&mut self, v: Var, activity: &[f64]) {
+        // "decrease" in min-heap parlance; for our max-heap an activity bump
+        // can only move the element up.
+        if let Some(i) = self.position(v) {
+            self.sift_up(i, activity);
+        }
+    }
+
+    fn position(&self, v: Var) -> Option<usize> {
+        let p = self.pos[v.index()];
+        if p == NOT_IN {
+            None
+        } else {
+            Some(p as usize)
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let item = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[parent] as usize] >= activity[item as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = item;
+        self.pos[item as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let item = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let best = if right < n
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                right
+            } else {
+                left
+            };
+            if activity[self.heap[best] as usize] <= activity[item as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = best;
+        }
+        self.heap[i] = item;
+        self.pos[item as usize] = i as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(activity[self.heap[parent] as usize] >= activity[self.heap[i] as usize]);
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[v as usize], i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_returns_descending_activities() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0, 0.1];
+        let mut h = VarOrderHeap::new();
+        h.grow_to(5);
+        for i in 0..5 {
+            h.insert(Var::from_index(i), &activity);
+            h.check_invariants(&activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarOrderHeap::new();
+        h.grow_to(2);
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(1), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(1)));
+        assert!(!h.contains(Var::from_index(1)));
+        h.insert(Var::from_index(1), &activity);
+        assert!(h.contains(Var::from_index(1)));
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(1)));
+    }
+
+    #[test]
+    fn decrease_key_moves_bumped_var_up() {
+        let mut activity = vec![1.0, 2.0, 3.0, 4.0];
+        let mut h = VarOrderHeap::new();
+        h.grow_to(4);
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.decrease_key(Var::from_index(0), &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0];
+        let mut h = VarOrderHeap::new();
+        h.grow_to(1);
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+        assert!(h.is_empty());
+    }
+}

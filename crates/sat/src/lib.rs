@@ -1,0 +1,49 @@
+//! # hh-sat — a CDCL SAT solver with assumption cores
+//!
+//! A from-scratch conflict-driven clause-learning SAT solver built as the
+//! decision-procedure substrate for the H-Houdini invariant learner. The
+//! paper uses cvc5 with `minimal-unsat-cores`; the abduction oracle only
+//! requires (i) incremental solving under assumptions and (ii) locally
+//! minimal UNSAT cores over those assumptions — both provided here.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hh_sat::{Solver, SolveResult, minimize_core};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! let c = solver.new_var().positive();
+//! solver.add_clause(&[!a, !b]); // a and b cannot both hold
+//!
+//! assert_eq!(solver.solve_with_assumptions(&[a, b, c]), SolveResult::Unsat);
+//! let core = solver.unsat_core().to_vec();
+//! let minimal = minimize_core(&mut solver, &core);
+//! assert_eq!(minimal.len(), 2); // c is not part of the contradiction
+//! ```
+//!
+//! ## Features
+//!
+//! * Two-literal watching, first-UIP learning with clause minimisation,
+//!   VSIDS + phase saving, Luby restarts, LBD-aware database reduction.
+//! * Incremental interface: interleave [`Solver::new_var`],
+//!   [`Solver::add_clause`] and [`Solver::solve_with_assumptions`] freely.
+//! * [`minimize_core`] shrinks assumption cores to local minimality
+//!   (deletion-based), mirroring cvc5's `minimal-unsat-cores`.
+//! * A small DIMACS reader/writer in [`dimacs`] for debugging and tests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clause;
+mod heap;
+mod lit;
+mod minimize;
+mod solver;
+
+pub mod dimacs;
+
+pub use lit::{Lit, Var};
+pub use minimize::minimize_core;
+pub use solver::{Config, SolveResult, Solver, SolverStats};

@@ -1,0 +1,131 @@
+//! Deletion-based UNSAT-core minimisation.
+//!
+//! The abduction oracle of H-Houdini (§3.2.3 of the paper) wants *weakest*
+//! (smallest) abducts. cvc5 provides `minimal-unsat-cores`, which guarantees
+//! locally-minimal cores; we reproduce the same guarantee with the classic
+//! deletion algorithm: drop each core member in turn and re-solve — if the
+//! remainder is still UNSAT the member was redundant.
+
+use crate::solver::{SolveResult, Solver};
+use crate::Lit;
+
+/// Shrinks an UNSAT core to a *locally minimal* one: no single literal can be
+/// removed while keeping the remaining assumptions unsatisfiable.
+///
+/// `core` must be a set of assumptions under which `solver` answers UNSAT
+/// (e.g. the result of [`Solver::unsat_core`]). Returns the minimised core.
+/// Each removal probe costs one incremental solve; the solver's learnt
+/// clauses accumulate across probes, so later probes are typically cheap.
+///
+/// # Examples
+///
+/// ```
+/// use hh_sat::{Solver, SolveResult, minimize_core};
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// let c = s.new_var().positive();
+/// s.add_clause(&[!a, !b]);
+/// assert_eq!(s.solve_with_assumptions(&[a, b, c]), SolveResult::Unsat);
+/// let core = s.unsat_core().to_vec();
+/// let min = minimize_core(&mut s, &core);
+/// assert_eq!(min.len(), 2); // {a, b}
+/// ```
+pub fn minimize_core(solver: &mut Solver, core: &[Lit]) -> Vec<Lit> {
+    let mut current: Vec<Lit> = core.to_vec();
+    let mut i = 0;
+    while i < current.len() {
+        let candidate = current[i];
+        let probe: Vec<Lit> = current
+            .iter()
+            .copied()
+            .filter(|&l| l != candidate)
+            .collect();
+        match solver.solve_with_assumptions(&probe) {
+            SolveResult::Unsat => {
+                // The candidate was not needed. Adopt the (possibly even
+                // smaller) refreshed core from this probe.
+                let refreshed = solver.unsat_core().to_vec();
+                // Keep the ordering of `current` for determinism.
+                current = current
+                    .iter()
+                    .copied()
+                    .filter(|l| refreshed.contains(l))
+                    .collect();
+                // Do not advance `i`: position i now holds an untested lit.
+            }
+            SolveResult::Sat => {
+                // The candidate is essential; keep it and move on.
+                i += 1;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn drops_redundant_assumptions() {
+        let mut s = Solver::new();
+        let lits: Vec<Lit> = (0..6).map(|_| s.new_var().positive()).collect();
+        // Only lits[0] & lits[1] conflict.
+        s.add_clause(&[!lits[0], !lits[1]]);
+        assert_eq!(s.solve_with_assumptions(&lits), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        let min = minimize_core(&mut s, &core);
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&lits[0]) && min.contains(&lits[1]));
+    }
+
+    #[test]
+    fn minimal_core_is_fixed_point() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve_with_assumptions(&[a, b]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        let min1 = minimize_core(&mut s, &core);
+        let min2 = minimize_core(&mut s, &min1);
+        assert_eq!(min1, min2);
+    }
+
+    #[test]
+    fn overlapping_reasons() {
+        // a -> x, b -> x, c -> !x: {a,c} and {b,c} are both minimal cores of
+        // {a,b,c}. Minimisation must return one of them (size 2).
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        let x = s.new_var().positive();
+        s.add_clause(&[!a, x]);
+        s.add_clause(&[!b, x]);
+        s.add_clause(&[!c, !x]);
+        assert_eq!(s.solve_with_assumptions(&[a, b, c]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        let min = minimize_core(&mut s, &core);
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&c));
+        assert!(min.contains(&a) || min.contains(&b));
+        // Verify minimality: removing any member yields SAT.
+        for &l in &min {
+            let rest: Vec<Lit> = min.iter().copied().filter(|&m| m != l).collect();
+            assert_eq!(s.solve_with_assumptions(&rest), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn empty_core_stays_empty() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        s.add_clause(&[a]);
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(minimize_core(&mut s, &[]).is_empty());
+    }
+}

@@ -1,0 +1,945 @@
+//! The CDCL solver.
+//!
+//! A MiniSat-style conflict-driven clause-learning solver with:
+//!
+//! * two-literal watching for unit propagation,
+//! * first-UIP conflict analysis with basic clause minimisation,
+//! * VSIDS decision ordering with phase saving,
+//! * Luby-sequence restarts,
+//! * activity/LBD-based learnt-clause database reduction,
+//! * incremental solving under assumptions with UNSAT-core extraction.
+//!
+//! The solver is the decision engine behind every query made by the
+//! H-Houdini abduction oracle, where the assumptions are predicate indicator
+//! literals and the UNSAT core *is* the abduct.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarOrderHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable; the
+    /// involved assumptions are available from [`Solver::unsat_core`].
+    Unsat,
+}
+
+/// Tunable solver parameters.
+///
+/// The defaults mirror MiniSat's and are appropriate for the bit-blasted
+/// hardware queries issued by the rest of the workspace.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Multiplicative decay applied to variable activities per conflict.
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities per conflict.
+    pub clause_decay: f64,
+    /// Conflicts in the base restart interval (scaled by the Luby sequence).
+    pub restart_base: u64,
+    /// Initial cap on learnt clauses before database reduction, as a
+    /// fraction of original clauses.
+    pub learnt_size_factor: f64,
+    /// Growth of the learnt-clause cap after each reduction.
+    pub learnt_size_inc: f64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            learnt_size_factor: 1.0 / 3.0,
+            learnt_size_inc: 1.1,
+        }
+    }
+}
+
+/// Cumulative counters, exposed for the paper's Figure 4 style breakdowns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Number of `solve`/`solve_with_assumptions` calls.
+    pub solves: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause needs no work (MiniSat's "blocker").
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use hh_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// s.add_clause(&[!a.positive()]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert!(s.model_value(b.positive()));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: Config,
+    db: ClauseDb,
+    /// Watch lists indexed by literal code: `watches[p]` holds clauses that
+    /// must be inspected when `p` becomes true (they watch `!p`).
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    /// Saved phase per variable, used as the decision polarity.
+    phase: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: VarOrderHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    /// Scratch flags for conflict analysis, indexed by variable.
+    seen: Vec<bool>,
+    /// False iff a top-level conflict has been derived (formula is UNSAT
+    /// regardless of assumptions).
+    ok: bool,
+    model: Vec<LBool>,
+    core: Vec<Lit>,
+    max_learnts: f64,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default [`Config`].
+    pub fn new() -> Solver {
+        Solver::with_config(Config::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: Config) -> Solver {
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order: VarOrderHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: Vec::new(),
+            level: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            core: Vec::new(),
+            max_learnts: 0.0,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses currently stored (including learnt ones).
+    pub fn num_clauses(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals) to the formula.
+    ///
+    /// Returns `false` if the formula is now known to be unsatisfiable at the
+    /// top level (e.g. after adding an empty or immediately-conflicting
+    /// clause). Duplicated literals are removed and tautological clauses are
+    /// silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal refers to a variable that was not created with
+    /// [`Solver::new_var`].
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        for l in &c {
+            assert!(l.var().index() < self.num_vars(), "literal out of range");
+        }
+        c.sort_unstable();
+        c.dedup();
+        // Drop tautologies; filter literals already false at level 0.
+        let mut filtered = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: contains l and !l adjacent after sort
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(filtered, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::unsat_core`] returns the subset
+    /// of `assumptions` involved in the refutation. The solver remains usable
+    /// afterwards (incremental interface): more variables, clauses and solve
+    /// calls may follow.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        self.model.clear();
+        self.core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        self.max_learnts =
+            (self.db.len() as f64) * self.config.learnt_size_factor + 1000.0;
+        let mut restarts: u64 = 0;
+        loop {
+            let budget = luby(restarts) * self.config.restart_base;
+            match self.search(budget, assumptions) {
+                Some(result) => {
+                    self.cancel_until(0);
+                    return result;
+                }
+                None => {
+                    // Restart.
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        }
+    }
+
+    /// Value of `lit` in the most recent satisfying assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last solve call did not return [`SolveResult::Sat`].
+    pub fn model_value(&self, lit: Lit) -> bool {
+        assert!(!self.model.is_empty(), "no model available");
+        match self.model[lit.var().index()].of_lit(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            // Variables never touched by search keep their saved phase; the
+            // model vector is fully concrete by construction.
+            LBool::Undef => unreachable!("model is total"),
+        }
+    }
+
+    /// The subset of the assumption literals used to derive unsatisfiability
+    /// in the most recent UNSAT answer.
+    ///
+    /// If the formula is unsatisfiable even without assumptions the core is
+    /// empty.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Runs CDCL until `conflict_budget` conflicts have occurred (returning
+    /// `None` to signal a restart) or a definitive result is reached.
+    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+        let mut conflicts: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                conflicts += 1;
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, backtrack_level) = self.analyze(confl);
+                self.cancel_until(backtrack_level);
+                self.record_learnt(learnt);
+                self.decay_activities();
+            } else {
+                if conflicts >= conflict_budget {
+                    self.cancel_until(0);
+                    return None;
+                }
+                if self.db.num_learnts as f64 >= self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= self.config.learnt_size_inc;
+                }
+                // Place assumptions as pseudo-decisions, one per level.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            // Already satisfied: open a dummy level so the
+                            // level/assumption indices stay aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final(p);
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch_lit() {
+                        Some(p) => p,
+                        None => {
+                            // All variables assigned: model found.
+                            self.model = self.assigns.clone();
+                            return Some(SolveResult::Sat);
+                        }
+                    },
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, None);
+            }
+        }
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order.pop_max(&self.activity)?;
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v.lit(self.phase[v.index()]));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                // Normalise so the falsified watched literal is at index 1.
+                {
+                    let c = self.db.get_mut(w.cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(w.cref).lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.get(w.cref).lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        let c = self.db.get_mut(w.cref);
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current assignment.
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    // Copy remaining watchers back.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].of_lit(l)
+    }
+
+    fn unchecked_enqueue(&mut self, p: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(p), LBool::Undef);
+        let v = p.var().index();
+        self.assigns[v] = LBool::from_bool(p.is_positive());
+        self.reason[v] = from;
+        self.level[v] = self.decision_level();
+        self.trail.push(p);
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let p = self.trail[i];
+            let v = p.var().index();
+            self.phase[v] = p.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+            self.order.insert(p.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = bound;
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis
+    // ------------------------------------------------------------------
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut path_count: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        loop {
+            {
+                self.bump_clause(confl);
+                let start = usize::from(p.is_some());
+                let lits: Vec<Lit> = self.db.get(confl).lits[start..].to_vec();
+                for q in lits {
+                    let v = q.var().index();
+                    if !self.seen[v] && self.level[v] > 0 {
+                        self.bump_var(q.var());
+                        self.seen[v] = true;
+                        if self.level[v] >= self.decision_level() {
+                            path_count += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Select the next clause to look at.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason[pl.var().index()]
+                .expect("non-decision implied literal must have a reason");
+            p = Some(pl);
+        }
+        learnt[0] = !p.unwrap();
+
+        // Basic clause minimisation: drop literals whose reason clause is
+        // entirely marked seen (they are implied by the rest of the clause).
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_redundant(l))
+            .collect();
+        let minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&l, _)| l)
+            .collect();
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let learnt = minimized;
+
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            // Find the literal with the second-highest level and move it to
+            // index 1 (it becomes the second watched literal).
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            let mut learnt = learnt;
+            learnt.swap(1, max_i);
+            let bl = self.level[learnt[1].var().index()];
+            return (learnt, bl);
+        };
+        (learnt, backtrack_level)
+    }
+
+    /// `true` if `l` (a non-asserting learnt literal) is implied by the other
+    /// literals of the learnt clause, i.e. every antecedent in its reason is
+    /// already marked seen or at level 0.
+    fn literal_redundant(&self, l: Lit) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(r) => self.db.get(r).lits.iter().all(|&q| {
+                q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    /// Computes the UNSAT core when assumption `p` is falsified: walks the
+    /// implication graph from `!p` back to the assumption pseudo-decisions.
+    fn analyze_final(&mut self, p: Lit) {
+        self.core.clear();
+        self.core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let bottom = self.trail_lim[0];
+        for i in (bottom..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    // Decision within assumption levels: `x` is an assumption.
+                    debug_assert!(self.level[v] > 0);
+                    self.core.push(x);
+                }
+                Some(r) => {
+                    let lits: Vec<Lit> = self.db.get(r).lits.clone();
+                    for q in lits {
+                        if q.var() != x.var() && self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+        self.core.sort_unstable();
+        self.core.dedup();
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        match learnt.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                self.unchecked_enqueue(learnt[0], None);
+            }
+            _ => {
+                let lbd = self.compute_lbd(&learnt);
+                let asserting = learnt[0];
+                let cref = self.db.alloc(learnt, true, lbd);
+                self.attach(cref);
+                self.bump_clause(cref);
+                self.unchecked_enqueue(asserting, Some(cref));
+            }
+        }
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher {
+            cref,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            cref,
+            blocker: l0,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Activities and database reduction
+    // ------------------------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.decrease_key(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.clause_inc;
+        let c = self.db.get_mut(cref);
+        if !c.learnt {
+            return;
+        }
+        c.activity += inc;
+        if c.activity > 1e20 {
+            let refs: Vec<ClauseRef> = self.db.learnt_refs();
+            for r in refs {
+                self.db.get_mut(r).activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.clause_inc /= self.config.clause_decay;
+    }
+
+    /// Deletes roughly half of the learnt clauses, preferring inactive,
+    /// high-LBD ones. Clauses that are the reason of a current assignment
+    /// ("locked") and glue clauses (LBD ≤ 2) are kept.
+    fn reduce_db(&mut self) {
+        let mut learnts = self.db.learnt_refs();
+        learnts.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            ca.activity
+                .partial_cmp(&cb.activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = learnts.len() / 2;
+        let mut deleted = 0usize;
+        for &cref in &learnts {
+            if deleted >= target {
+                break;
+            }
+            let c = self.db.get(cref);
+            if c.lbd <= 2 || self.is_locked(cref) {
+                continue;
+            }
+            self.db.delete(cref);
+            deleted += 1;
+            self.stats.deleted_clauses += 1;
+        }
+        if deleted > 0 {
+            self.rebuild_watches();
+        }
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.get(cref).lits[0];
+        self.reason[first.var().index()] == Some(cref) && self.lit_value(first) == LBool::True
+    }
+
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let refs: Vec<ClauseRef> = self.db.live_refs().collect();
+        for cref in refs {
+            self.attach(cref);
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence that contains index `i`, then the position
+    // of `i` within it (standard MiniSat formulation).
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(a.positive()));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive()]));
+        assert!(!s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let vs: Vec<_> = (0..5).map(|_| s.new_var()).collect();
+        for w in vs.windows(2) {
+            s.add_clause(&[!w[0].positive(), w[1].positive()]);
+        }
+        s.add_clause(&[vs[0].positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in &vs {
+            assert!(s.model_value(v.positive()));
+        }
+    }
+
+    #[test]
+    fn xor_like_sat() {
+        // (a | b) & (!a | !b): exactly one of a, b.
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[a, b]);
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_ne!(s.model_value(a), s.model_value(b));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes. p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let mut p = [[Lit(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var().positive();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[row[0], row[1]]);
+        }
+        for i in 0..3 {
+            for k in (i + 1)..3 {
+                for j in 0..2 {
+                    s.add_clause(&[!p[i][j], !p[k][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_and_core() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        // a & b -> contradiction; c irrelevant.
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve_with_assumptions(&[a, b, c]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a));
+        assert!(core.contains(&b));
+        assert!(!core.contains(&c));
+        // Still solvable without the clashing assumptions.
+        assert_eq!(s.solve_with_assumptions(&[a, c]), SolveResult::Sat);
+        assert!(s.model_value(a));
+        assert!(s.model_value(c));
+        assert!(!s.model_value(b));
+    }
+
+    #[test]
+    fn core_requires_propagation() {
+        // Assumptions that conflict only after a propagation chain.
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        let d = s.new_var().positive();
+        s.add_clause(&[!a, c]); // a -> c
+        s.add_clause(&[!b, d]); // b -> d
+        s.add_clause(&[!c, !d]); // !(c & d)
+        assert_eq!(s.solve_with_assumptions(&[a, b]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a) && core.contains(&b));
+    }
+
+    #[test]
+    fn incremental_reuse() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+        let b = s.new_var().positive();
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve_with_assumptions(&[a, b]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[b]), SolveResult::Sat);
+        assert!(!s.model_value(a));
+    }
+
+    #[test]
+    fn top_level_unsat_gives_empty_core() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[a]);
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve_with_assumptions(&[b]), SolveResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        assert!(s.add_clause(&[a, a, b]));
+        assert!(s.add_clause(&[a, !a])); // tautology, dropped
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests: the CDCL solver is checked against a brute-force
+//! enumerator on random small formulas, and core extraction is validated
+//! semantically (cores are UNSAT, minimised cores are locally minimal).
+
+use hh_sat::{minimize_core, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random clause set over `num_vars` variables, as signed var indices.
+fn arb_cnf(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses)
+}
+
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    assert!(num_vars <= 20);
+    'outer: for assignment in 0u32..(1 << num_vars) {
+        for clause in clauses {
+            let sat = clause
+                .iter()
+                .any(|&(v, pos)| ((assignment >> v) & 1 == 1) == pos);
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn build_solver(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for clause in clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// CDCL agrees with brute force on satisfiability.
+    #[test]
+    fn agrees_with_brute_force(clauses in arb_cnf(8, 40)) {
+        let expected = brute_force_sat(8, &clauses);
+        let mut s = build_solver(8, &clauses);
+        let got = s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A SAT answer comes with a model that satisfies every clause.
+    #[test]
+    fn models_satisfy_all_clauses(clauses in arb_cnf(10, 50)) {
+        let mut s = build_solver(10, &clauses);
+        if s.solve() == SolveResult::Sat {
+            let vars: Vec<Var> = (0..10).map(Var::from_index).collect();
+            for clause in &clauses {
+                let sat = clause.iter().any(|&(v, pos)| s.model_value(vars[v].lit(pos)));
+                prop_assert!(sat, "model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    /// Assumption solving matches adding the assumptions as unit clauses, and
+    /// UNSAT cores are themselves sufficient for unsatisfiability.
+    #[test]
+    fn assumption_semantics(clauses in arb_cnf(7, 30), pattern in 0u8..128, polarity in 0u8..128) {
+        let assumed: Vec<(usize, bool)> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| (i, (polarity >> i) & 1 == 1))
+            .collect();
+
+        // Reference: units added as clauses.
+        let mut with_units = clauses.clone();
+        for &(v, pos) in &assumed {
+            with_units.push(vec![(v, pos)]);
+        }
+        let expected = brute_force_sat(7, &with_units);
+
+        let mut s = build_solver(7, &clauses);
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let assumptions: Vec<Lit> = assumed.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        let res = s.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(res == SolveResult::Sat, expected);
+
+        if res == SolveResult::Unsat {
+            let core = s.unsat_core().to_vec();
+            // Core is a subset of the assumptions.
+            for l in &core {
+                prop_assert!(assumptions.contains(l));
+            }
+            // The core alone is already unsatisfiable.
+            prop_assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+            // And minimisation yields a locally minimal core.
+            let min = minimize_core(&mut s, &core);
+            prop_assert_eq!(s.solve_with_assumptions(&min), SolveResult::Unsat);
+            for &drop in &min {
+                let probe: Vec<Lit> = min.iter().copied().filter(|&l| l != drop).collect();
+                prop_assert_eq!(s.solve_with_assumptions(&probe), SolveResult::Sat,
+                    "core not minimal: {:?} removable", drop);
+            }
+        }
+    }
+
+    /// The solver stays consistent across incremental rounds: solving with
+    /// assumptions never changes the formula.
+    #[test]
+    fn solving_is_stateless(clauses in arb_cnf(6, 25), rounds in 1usize..4) {
+        let expected = brute_force_sat(6, &clauses);
+        let mut s = build_solver(6, &clauses);
+        for _ in 0..rounds {
+            prop_assert_eq!(s.solve() == SolveResult::Sat, expected);
+        }
+    }
+}
+
+#[test]
+fn dimacs_roundtrip_through_solver() {
+    let text = "p cnf 4 4\n1 2 0\n-1 3 0\n-2 4 0\n-3 -4 0\n";
+    let cnf = hh_sat::dimacs::parse_dimacs(text).unwrap();
+    let mut s = hh_sat::dimacs::load_into_solver(&cnf);
+    assert_eq!(s.solve(), SolveResult::Sat);
+}

@@ -1,0 +1,206 @@
+//! # hh-sim — cycle-accurate simulation and paired-trace generation
+//!
+//! Positive examples in VeloCT (paper §5.2) come from *concrete* executions:
+//! a pair of traces that run the same instruction sequence but differ in
+//! secret operand values. This crate provides the simulation machinery:
+//!
+//! * [`simulate`] — run a netlist for N cycles from a given initial state,
+//! * [`Trace`] — the resulting state/input history,
+//! * [`output_waveform`] — observe a signal over time (the attacker's view),
+//! * [`product_states`] — zip a left and right trace into product states of a
+//!   miter, which is the raw material for positive examples (Def. 4.8).
+//!
+//! ```
+//! use hh_netlist::{Netlist, Bv};
+//! use hh_netlist::eval::{InputValues, StateValues};
+//! use hh_sim::simulate;
+//!
+//! let mut n = Netlist::new("counter");
+//! let c = n.state("c", 8, Bv::zero(8));
+//! let cur = n.state_node(c);
+//! let one = n.c(8, 1);
+//! let nxt = n.add(cur, one);
+//! n.set_next(c, nxt);
+//!
+//! let inputs = vec![InputValues::zeros(&n); 5];
+//! let trace = hh_sim::simulate(&n, StateValues::initial(&n), &inputs);
+//! assert_eq!(trace.states[5].get(c), Bv::new(8, 5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use hh_netlist::eval::{eval_all, step, InputValues, StateValues};
+use hh_netlist::miter::Miter;
+use hh_netlist::{Bv, Netlist, NodeId};
+
+/// A finite execution: `states[i]` is the state *entering* cycle `i`
+/// (`states[0]` is the initial state), `inputs[i]` the inputs applied during
+/// cycle `i`. `states.len() == inputs.len() + 1`.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// State history (length = cycles + 1).
+    pub states: Vec<StateValues>,
+    /// Input history (length = cycles).
+    pub inputs: Vec<InputValues>,
+}
+
+impl Trace {
+    /// Number of simulated cycles.
+    pub fn cycles(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// Runs `netlist` from `initial` applying `inputs` cycle by cycle.
+pub fn simulate(netlist: &Netlist, initial: StateValues, inputs: &[InputValues]) -> Trace {
+    let mut states = Vec::with_capacity(inputs.len() + 1);
+    states.push(initial);
+    for iv in inputs {
+        let next = step(netlist, states.last().unwrap(), iv);
+        states.push(next);
+    }
+    Trace {
+        states,
+        inputs: inputs.to_vec(),
+    }
+}
+
+/// The value of `node` during each cycle of `trace` (evaluated with that
+/// cycle's pre-state and inputs) — the attacker-visible waveform when `node`
+/// is an observable output.
+pub fn output_waveform(netlist: &Netlist, trace: &Trace, node: NodeId) -> Vec<Bv> {
+    trace
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| eval_all(netlist, &trace.states[i], iv)[node.index()])
+        .collect()
+}
+
+/// The value of a *state element* at every point of the trace (length =
+/// cycles + 1).
+pub fn state_waveform(trace: &Trace, sid: hh_netlist::StateId) -> Vec<Bv> {
+    trace.states.iter().map(|s| s.get(sid)).collect()
+}
+
+/// Zips two equal-length traces of the *base* design into product states of
+/// the miter: cycle `i`'s product state assigns the left trace's values to
+/// the `l$` states and the right trace's to the `r$` states.
+///
+/// # Panics
+///
+/// Panics if trace lengths differ (paper Def. 4.5 pads the shorter trace;
+/// our generator always produces equal-length pairs by construction).
+pub fn product_states(miter: &Miter, left: &Trace, right: &Trace) -> Vec<StateValues> {
+    assert_eq!(
+        left.states.len(),
+        right.states.len(),
+        "paired traces must have equal length"
+    );
+    left.states
+        .iter()
+        .zip(&right.states)
+        .map(|(ls, rs)| {
+            let mut pv = StateValues::initial(miter.netlist());
+            for base in miter.base_state_ids() {
+                pv.set(miter.left(base), ls.get(base));
+                pv.set(miter.right(base), rs.get(base));
+            }
+            pv
+        })
+        .collect()
+}
+
+/// Convenience: simulate the pair `(left_init, right_init)` on the *same*
+/// input sequence and return the product states (the raw positive-example
+/// stream before masking/filtering).
+pub fn simulate_pair(
+    netlist: &Netlist,
+    miter: &Miter,
+    left_init: StateValues,
+    right_init: StateValues,
+    inputs: &[InputValues],
+) -> (Trace, Trace, Vec<StateValues>) {
+    let lt = simulate(netlist, left_init, inputs);
+    let rt = simulate(netlist, right_init, inputs);
+    let ps = product_states(miter, &lt, &rt);
+    (lt, rt, ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// acc' = acc + in; out = acc.
+    fn accumulator() -> Netlist {
+        let mut n = Netlist::new("acc");
+        let acc = n.state("acc", 8, Bv::zero(8));
+        let i = n.input("i", 8);
+        let cur = n.state_node(acc);
+        let nxt = n.add(cur, i);
+        n.set_next(acc, nxt);
+        n.add_output("o", cur);
+        n
+    }
+
+    fn drive(n: &Netlist, vals: &[u64]) -> Vec<InputValues> {
+        vals.iter()
+            .map(|&v| {
+                let mut iv = InputValues::zeros(n);
+                iv.set_by_name(n, "i", Bv::new(8, v));
+                iv
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simulate_accumulates() {
+        let n = accumulator();
+        let acc = n.find_state("acc").unwrap();
+        let inputs = drive(&n, &[1, 2, 3, 4]);
+        let t = simulate(&n, StateValues::initial(&n), &inputs);
+        assert_eq!(t.cycles(), 4);
+        let wave = state_waveform(&t, acc);
+        let got: Vec<u64> = wave.iter().map(|v| v.bits()).collect();
+        assert_eq!(got, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn output_waveform_sees_combinational_value() {
+        let n = accumulator();
+        let out = n.find_output("o").unwrap();
+        let inputs = drive(&n, &[5, 5]);
+        let t = simulate(&n, StateValues::initial(&n), &inputs);
+        let wave = output_waveform(&n, &t, out);
+        assert_eq!(wave.iter().map(|v| v.bits()).collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn product_states_assemble_both_sides() {
+        let n = accumulator();
+        let m = Miter::build(&n);
+        let acc = n.find_state("acc").unwrap();
+        let inputs = drive(&n, &[1, 1]);
+        let mut li = StateValues::initial(&n);
+        li.set(acc, Bv::new(8, 10));
+        let mut ri = StateValues::initial(&n);
+        ri.set(acc, Bv::new(8, 20));
+        let (_, _, ps) = simulate_pair(&n, &m, li, ri, &inputs);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].get(m.left(acc)).bits(), 10);
+        assert_eq!(ps[0].get(m.right(acc)).bits(), 20);
+        assert_eq!(ps[2].get(m.left(acc)).bits(), 12);
+        assert_eq!(ps[2].get(m.right(acc)).bits(), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_traces_panic() {
+        let n = accumulator();
+        let m = Miter::build(&n);
+        let t1 = simulate(&n, StateValues::initial(&n), &drive(&n, &[1]));
+        let t2 = simulate(&n, StateValues::initial(&n), &drive(&n, &[1, 2]));
+        product_states(&m, &t1, &t2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Combinational ALU shared by the cores.
+//!
+//! Single-cycle barrel-shifter ALU covering the RV32I register/immediate
+//! arithmetic instructions plus `lui`/`auipc`. Its latency never depends on
+//! operand values — that is what makes these instructions *safe* and it is
+//! why the cores route them through here in one cycle.
+
+use crate::decode::Decode;
+use hh_isa::Mnemonic;
+use hh_netlist::{Netlist, NodeId};
+
+/// Computes the ALU result for the decoded instruction.
+///
+/// `rs1val`/`rs2val` are the register operands (width `xlen`), `pc` the
+/// architectural PC (for `auipc`). Immediates come from the decode bundle.
+/// For non-ALU instructions the result is unspecified (zero).
+pub fn alu_result(
+    n: &mut Netlist,
+    d: &Decode,
+    pc: NodeId,
+    rs1val: NodeId,
+    rs2val: NodeId,
+    xlen: u32,
+) -> NodeId {
+    use Mnemonic::*;
+    let shmask = n.c(xlen, 0x1f);
+    let sh_r = n.and(rs2val, shmask);
+    let sh_i = {
+        let imm = d.imm_i;
+        n.and(imm, shmask)
+    };
+
+    let add_r = n.add(rs1val, rs2val);
+    let add_i = n.add(rs1val, d.imm_i);
+    let sub_r = n.sub(rs1val, rs2val);
+    let xor_r = n.xor(rs1val, rs2val);
+    let xor_i = n.xor(rs1val, d.imm_i);
+    let or_r = n.or(rs1val, rs2val);
+    let or_i = n.or(rs1val, d.imm_i);
+    let and_r = n.and(rs1val, rs2val);
+    let and_i = n.and(rs1val, d.imm_i);
+    let sll_r = n.shl(rs1val, sh_r);
+    let sll_i = n.shl(rs1val, sh_i);
+    let srl_r = n.lshr(rs1val, sh_r);
+    let srl_i = n.lshr(rs1val, sh_i);
+    let sra_r = n.ashr(rs1val, sh_r);
+    let sra_i = n.ashr(rs1val, sh_i);
+    let slt_r = {
+        let b = n.slt(rs1val, rs2val);
+        n.uext(b, xlen)
+    };
+    let slt_i = {
+        let b = n.slt(rs1val, d.imm_i);
+        n.uext(b, xlen)
+    };
+    let sltu_r = {
+        let b = n.ult(rs1val, rs2val);
+        n.uext(b, xlen)
+    };
+    let sltu_i = {
+        let b = n.ult(rs1val, d.imm_i);
+        n.uext(b, xlen)
+    };
+    let lui_v = d.imm_u;
+    let auipc_v = n.add(pc, d.imm_u);
+
+    let table: Vec<(Mnemonic, NodeId)> = vec![
+        (Add, add_r),
+        (Addi, add_i),
+        (Sub, sub_r),
+        (Xor, xor_r),
+        (Xori, xor_i),
+        (Or, or_r),
+        (Ori, or_i),
+        (And, and_r),
+        (Andi, and_i),
+        (Sll, sll_r),
+        (Slli, sll_i),
+        (Srl, srl_r),
+        (Srli, srl_i),
+        (Sra, sra_r),
+        (Srai, sra_i),
+        (Slt, slt_r),
+        (Slti, slt_i),
+        (Sltu, sltu_r),
+        (Sltiu, sltu_i),
+        (Lui, lui_v),
+        (Auipc, auipc_v),
+    ];
+    let zero = n.c(xlen, 0);
+    let cases: Vec<(NodeId, NodeId)> = table
+        .into_iter()
+        .map(|(m, v)| (d.matches[&m], v))
+        .collect();
+    n.select(&cases, zero)
+}
+
+/// Branch-taken condition for `beq`/`bne` (false for everything else).
+pub fn branch_taken(n: &mut Netlist, d: &Decode, rs1val: NodeId, rs2val: NodeId) -> NodeId {
+    let eq = n.eq(rs1val, rs2val);
+    let neq = n.not(eq);
+    let beq_taken = n.and(d.matches[&Mnemonic::Beq], eq);
+    let bne_taken = n.and(d.matches[&Mnemonic::Bne], neq);
+    n.or(beq_taken, bne_taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use hh_isa::{asm, Instruction, Mnemonic};
+    use hh_netlist::eval::{eval_all, InputValues, StateValues};
+    use hh_netlist::Bv;
+
+    fn run_alu(instr: Instruction, pc: u64, r1: u64, r2: u64) -> u64 {
+        let mut n = Netlist::new("t");
+        let iw = n.input("instr", 32);
+        let pcn = n.input("pc", 16);
+        let r1n = n.input("r1", 16);
+        let r2n = n.input("r2", 16);
+        let d = decode(&mut n, iw, 16, 8);
+        let out = alu_result(&mut n, &d, pcn, r1n, r2n, 16);
+        let mut iv = InputValues::zeros(&n);
+        iv.set_by_name(&n, "instr", Bv::new(32, instr.encode() as u64));
+        iv.set_by_name(&n, "pc", Bv::new(16, pc));
+        iv.set_by_name(&n, "r1", Bv::new(16, r1));
+        iv.set_by_name(&n, "r2", Bv::new(16, r2));
+        let vals = eval_all(&n, &StateValues::from_vec(vec![]), &iv);
+        vals[out.index()].bits()
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(run_alu(asm::add(3, 1, 2), 0, 7, 8), 15);
+        assert_eq!(run_alu(asm::sub(3, 1, 2), 0, 7, 8), 0xffff);
+        assert_eq!(run_alu(asm::addi(3, 1, -2), 0, 7, 0), 5);
+        assert_eq!(
+            run_alu(Instruction::rtype(Mnemonic::Xor, 3, 1, 2), 0, 0xff00, 0x0ff0),
+            0xf0f0
+        );
+        assert_eq!(
+            run_alu(Instruction::itype(Mnemonic::Andi, 3, 1, 0xf), 0, 0x1234, 0),
+            0x4
+        );
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        assert_eq!(
+            run_alu(Instruction::rtype(Mnemonic::Sll, 3, 1, 2), 0, 0x8001, 1),
+            0x0002
+        );
+        assert_eq!(
+            run_alu(Instruction::itype(Mnemonic::Srai, 3, 1, 1), 0, 0x8000, 0),
+            0xc000
+        );
+        assert_eq!(
+            run_alu(Instruction::rtype(Mnemonic::Slt, 3, 1, 2), 0, 0x8000, 1),
+            1 // -32768 < 1 signed
+        );
+        assert_eq!(
+            run_alu(Instruction::rtype(Mnemonic::Sltu, 3, 1, 2), 0, 0x8000, 1),
+            0
+        );
+    }
+
+    #[test]
+    fn upper_immediates() {
+        assert_eq!(run_alu(asm::lui(3, 0x5), 0, 0, 0), 0x5000);
+        assert_eq!(run_alu(asm::auipc(3, 0x2), 0x100, 0, 0), 0x2100);
+    }
+
+    #[test]
+    fn branch_taken_logic() {
+        let mut n = Netlist::new("t");
+        let iw = n.input("instr", 32);
+        let r1n = n.input("r1", 16);
+        let r2n = n.input("r2", 16);
+        let d = decode(&mut n, iw, 16, 8);
+        let taken = branch_taken(&mut n, &d, r1n, r2n);
+        let case = |word: u32, a: u64, b: u64| -> u64 {
+            let mut iv = InputValues::zeros(&n);
+            iv.set_by_name(&n, "instr", Bv::new(32, word as u64));
+            iv.set_by_name(&n, "r1", Bv::new(16, a));
+            iv.set_by_name(&n, "r2", Bv::new(16, b));
+            eval_all(&n, &StateValues::from_vec(vec![]), &iv)[taken.index()].bits()
+        };
+        let beq = asm::beq(1, 2, 8).encode();
+        let bne = Instruction::btype(Mnemonic::Bne, 1, 2, 8).encode();
+        assert_eq!(case(beq, 5, 5), 1);
+        assert_eq!(case(beq, 5, 6), 0);
+        assert_eq!(case(bne, 5, 6), 1);
+        assert_eq!(case(bne, 5, 5), 0);
+        assert_eq!(case(asm::add(1, 2, 3).encode(), 5, 5), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The worked example of Appendix C: a simplified execute stage with an ADD
+//! unit and a zero-skip iterative MUL unit.
+//!
+//! The stage reads two operands from a tiny register file (where secrets
+//! live), dispatches to one of the two functional units by opcode, and
+//! raises `Valid` when a result is ready. The 2-safety target is
+//! `Eq(Valid)`: the attacker observing result-ready timing must learn
+//! nothing about register contents. As in the paper, the invariant for the
+//! ADD-only safe set exists, while admitting MUL forces the learner to
+//! backtrack into `Eq(Op1)`/`Eq(Op2)` (which positive examples refute) and
+//! fail.
+
+use crate::mulunit::{iter_mul, IterMul};
+use hh_netlist::{Bv, Netlist, NodeId, StateId};
+
+/// Opcode values of the execute stage's 2-bit "ISA".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// One-cycle addition.
+    Add = 1,
+    /// Iterative multiplication with zero-skip.
+    Mul = 2,
+}
+
+/// Handles into the execute-stage design.
+#[derive(Debug)]
+pub struct ExecStage {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Register file (4 registers; these hold secrets).
+    pub regs: Vec<StateId>,
+    /// Latched opcode.
+    pub opcode_r: StateId,
+    /// Latched operands.
+    pub op1: StateId,
+    /// Latched operands.
+    pub op2: StateId,
+    /// ADD unit result-ready flag.
+    pub valid_add: StateId,
+    /// ADD unit result.
+    pub res_add: StateId,
+    /// MUL unit states.
+    pub mul: IterMul,
+    /// Final observable result-ready register (the property target).
+    pub valid: StateId,
+    /// Final result register.
+    pub res: StateId,
+}
+
+/// The command input layout: `[1:0]` opcode, `[3:2]` rs1, `[5:4]` rs2.
+pub const CMD_INPUT: &str = "cmd";
+
+/// Builds the Appendix-C execute stage with the given operand width.
+pub fn exec_stage(xlen: u32) -> ExecStage {
+    let mut n = Netlist::new("execstage");
+
+    // Register file: 4 registers holding (possibly secret) data.
+    let regs: Vec<StateId> = (0..4)
+        .map(|i| n.state(format!("rf{i}"), xlen, Bv::zero(xlen)))
+        .collect();
+    for &r in &regs {
+        n.keep_state(r);
+    }
+    let reg_nodes: Vec<NodeId> = regs.iter().map(|&r| n.state_node(r)).collect();
+
+    // Command input and operand fetch.
+    let cmd = n.input(CMD_INPUT, 6);
+    let opc_in = n.slice(cmd, 1, 0);
+    let rs1 = n.slice(cmd, 3, 2);
+    let rs2 = n.slice(cmd, 5, 4);
+    let rs1val = crate::decode::rf_read(&mut n, &reg_nodes, rs1);
+    let rs2val = crate::decode::rf_read(&mut n, &reg_nodes, rs2);
+
+    // Operand/opcode latch stage.
+    let opcode_r = n.state("opcode_r", 2, Bv::zero(2));
+    let op1 = n.state("op1", xlen, Bv::zero(xlen));
+    let op2 = n.state("op2", xlen, Bv::zero(xlen));
+    n.set_next(opcode_r, opc_in);
+    n.set_next(op1, rs1val);
+    n.set_next(op2, rs2val);
+
+    let opc = n.state_node(opcode_r);
+    let op1n = n.state_node(op1);
+    let op2n = n.state_node(op2);
+    let is_add = n.eq_const(opc, Opcode::Add as u64);
+    let is_mul = n.eq_const(opc, Opcode::Mul as u64);
+
+    // ADD unit: single cycle.
+    let valid_add = n.state("valid_add", 1, Bv::bit(false));
+    let res_add = n.state("res_add", xlen, Bv::zero(xlen));
+    n.set_next(valid_add, is_add);
+    let sum = n.add(op1n, op2n);
+    let res_add_cur = n.state_node(res_add);
+    let res_add_next = n.ite(is_add, sum, res_add_cur);
+    n.set_next(res_add, res_add_next);
+
+    // MUL unit: iterative with zero-skip (Figure 7).
+    let mul_idle = {
+        // start = is_mul & !in_use & !valid — but in_use/valid are created by
+        // iter_mul itself, so pre-create a start wire via a two-phase build:
+        // iter_mul guards internally on `start` only; we build start from
+        // opcode and the *previous* unit instance is impossible. Instead we
+        // create the unit with a placeholder start and rely on the latch
+        // protocol: opcode_r is only MUL for the issue cycle because the
+        // testbench/core feeds NOP afterwards. To stay robust against
+        // back-to-back MULs we gate on in_use below by rebuilding start.
+        is_mul
+    };
+    // First build the unit with the raw signal, then strengthen the start
+    // guard by post-wiring: iter_mul samples `start` as given, so we guard
+    // here using freshly created states. To allow that, we build a guard
+    // register `mul_busy_shadow` that mirrors in_use|valid timing.
+    // Simpler and fully correct: a dedicated `started` latch that blocks
+    // re-issue while the current MUL instruction is outstanding.
+    let started = n.state("mul_started", 1, Bv::bit(false));
+    let started_n = n.state_node(started);
+    let not_started = n.not(started_n);
+    let start = n.and(mul_idle, not_started);
+    let mul = iter_mul(&mut n, "mul$", start, op1n, op2n, xlen);
+    // started' = (started | start) & !valid'  — cleared the cycle after the
+    // result pulses. valid' is the unit's next-state function, but we can
+    // reconstruct the clear condition from current state: the pulse cycle
+    // itself is when valid==1.
+    let mul_valid_n = n.state_node(mul.valid);
+    let set = n.or(started_n, start);
+    let not_valid = n.not(mul_valid_n);
+    let started_next = n.and(set, not_valid);
+    n.set_next(started, started_next);
+
+    // Output stage: Valid is the OR of the unit pulses (both are one-cycle
+    // pulses, and the issue protocol serialises instructions).
+    let valid = n.state("valid", 1, Bv::bit(false));
+    let res = n.state("res", xlen, Bv::zero(xlen));
+    let valid_add_n = n.state_node(valid_add);
+    let valid_next = n.or(valid_add_n, mul_valid_n);
+    n.set_next(valid, valid_next);
+    let mul_res_n = n.state_node(mul.result);
+    let res_cur = n.state_node(res);
+    let res_from_add = n.ite(valid_add_n, res_add_cur, res_cur);
+    let res_next = n.ite(mul_valid_n, mul_res_n, res_from_add);
+    n.set_next(res, res_next);
+
+    let valid_node = n.state_node(valid);
+    n.add_output("valid", valid_node);
+    let res_node = n.state_node(res);
+    n.add_output("res", res_node);
+
+    n.assert_complete();
+    ExecStage {
+        netlist: n,
+        regs,
+        opcode_r,
+        op1,
+        op2,
+        valid_add,
+        res_add,
+        mul,
+        valid,
+        res,
+    }
+}
+
+/// Encodes a command word for the stage's input.
+pub fn cmd(op: Opcode, rs1: u8, rs2: u8) -> u64 {
+    (op as u64) | ((rs1 as u64 & 3) << 2) | ((rs2 as u64 & 3) << 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_netlist::eval::{step, InputValues, StateValues};
+
+    fn feed(n: &Netlist, word: u64) -> InputValues {
+        let mut iv = InputValues::zeros(n);
+        iv.set_by_name(n, CMD_INPUT, Bv::new(6, word));
+        iv
+    }
+
+    /// Runs a command and returns cycles until `valid` pulses + result.
+    fn run(stage: &ExecStage, init_regs: &[u64; 4], command: u64) -> (usize, u64) {
+        let n = &stage.netlist;
+        let mut s = StateValues::initial(n);
+        for (i, &v) in init_regs.iter().enumerate() {
+            s.set(stage.regs[i], Bv::new(16, v));
+        }
+        s = step(n, &s, &feed(n, command)); // latch
+        let idle = feed(n, cmd(Opcode::Nop, 0, 0));
+        for cycle in 1..=40 {
+            s = step(n, &s, &idle);
+            if s.get(stage.valid).is_true() {
+                return (cycle, s.get(stage.res).bits());
+            }
+        }
+        panic!("no result");
+    }
+
+    #[test]
+    fn add_is_single_cycle() {
+        let stage = exec_stage(16);
+        let (lat, res) = run(&stage, &[3, 4, 0, 0], cmd(Opcode::Add, 0, 1));
+        assert_eq!(res, 7);
+        assert_eq!(lat, 2); // execute + output register
+        // ADD latency never depends on operands.
+        let (lat2, res2) = run(&stage, &[0, 9, 0, 0], cmd(Opcode::Add, 0, 1));
+        assert_eq!((lat2, res2), (2, 9));
+    }
+
+    #[test]
+    fn mul_latency_depends_on_operands() {
+        let stage = exec_stage(16);
+        let (lat_nz, res_nz) = run(&stage, &[3, 5, 0, 0], cmd(Opcode::Mul, 0, 1));
+        assert_eq!(res_nz, 15);
+        let (lat_z, res_z) = run(&stage, &[0, 5, 0, 0], cmd(Opcode::Mul, 0, 1));
+        assert_eq!(res_z, 0);
+        assert!(
+            lat_z < lat_nz,
+            "zero-skip must be observably faster ({lat_z} vs {lat_nz})"
+        );
+    }
+
+    #[test]
+    fn nop_produces_no_valid() {
+        let stage = exec_stage(16);
+        let n = &stage.netlist;
+        let mut s = StateValues::initial(n);
+        let idle = feed(n, cmd(Opcode::Nop, 0, 0));
+        for _ in 0..10 {
+            s = step(n, &s, &idle);
+            assert!(!s.get(stage.valid).is_true());
+        }
+    }
+
+    #[test]
+    fn secrets_do_not_affect_add_timing() {
+        // The 2-safety property, checked concretely: same commands, different
+        // register contents, identical valid waveforms for ADD programs.
+        let stage = exec_stage(16);
+        let (lat_a, _) = run(&stage, &[1, 2, 3, 4], cmd(Opcode::Add, 2, 3));
+        let (lat_b, _) = run(&stage, &[9, 8, 7, 6], cmd(Opcode::Add, 2, 3));
+        assert_eq!(lat_a, lat_b);
+    }
+}

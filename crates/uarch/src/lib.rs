@@ -1,0 +1,103 @@
+//! # hh-uarch — synthetic processor models for safe-instruction-set synthesis
+//!
+//! The paper evaluates VeloCT on Chipyard-generated Rocketchip and BOOM RTL.
+//! Those designs cannot be shipped here, so this crate builds *synthetic*
+//! cores in the `hh-netlist` builder API that reproduce the specific
+//! microarchitectural mechanisms the paper's results rest on:
+//!
+//! * [`execstage`] — the worked example of Appendix C: an execute stage with
+//!   a 1-cycle ADD unit and an iterative multiplier with a zero-skip fast
+//!   path.
+//! * [`rocketlite`] — an in-order multicycle core with a register file,
+//!   barrel-shifter ALU, the zero-skip iterative multiplier (making
+//!   `mul`-family instructions operand-timing-variable, as the paper found
+//!   on RV64 Rocketchip), a cache-latency memory unit and taken/not-taken
+//!   branch timing.
+//! * [`boomlite`] — an out-of-order core in four sizes (Small → Mega):
+//!   per-class issue FIFOs, a reorder buffer with in-order retire, a
+//!   scoreboard, a *pipelined* (fixed-latency, hence safe) multiplier, a
+//!   write-back arbiter — and a jump unit whose `auipc` fast path
+//!   speculatively reads the register file through the immediate's rs1-field
+//!   alias, giving `auipc` genuinely data-dependent timing (the surprise the
+//!   paper reports in §6.4). Issue-queue entries retain stale uops after
+//!   issue, which is exactly the residue that makes example masking (§5.2.1)
+//!   necessary.
+//!
+//! Every core exposes a uniform [`Design`] descriptor that the VeloCT layer
+//! consumes: the instruction input, the attacker-observable states, the
+//! secret-holding register file, and the masking annotations.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alu;
+pub mod boomlite;
+pub mod decode;
+pub mod execstage;
+pub mod mulunit;
+pub mod rocketlite;
+
+use hh_netlist::{Netlist, StateId};
+
+/// A masking annotation (paper §5.2.1/§6.2): when `valid` is 0 in a positive
+/// example, the listed `fields` are reset to their initial values before the
+/// example is used for mining. This scrubs stale-uop residue out of
+/// out-of-order structures.
+#[derive(Debug, Clone)]
+pub struct MaskRule {
+    /// The valid bit guarding an entry.
+    pub valid: StateId,
+    /// The entry fields that are semantically dead when `valid` is 0.
+    pub fields: Vec<StateId>,
+}
+
+/// A verification target: a core plus the metadata VeloCT needs.
+#[derive(Debug)]
+pub struct Design {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Name of the 32-bit instruction input (the alphabet Σ).
+    pub instr_input: String,
+    /// Attacker-observable state elements `O` (Def. 4.2) — retire/valid
+    /// signals.
+    pub observable: Vec<StateId>,
+    /// Architectural register file: the state elements that hold (possibly
+    /// secret) data. Positive-example pairs differ exactly here.
+    pub secret_regs: Vec<StateId>,
+    /// Masking annotations (empty for in-order cores, as in the paper).
+    pub masking: Vec<MaskRule>,
+    /// Number of architectural registers modelled.
+    pub nregs: usize,
+    /// Datapath width.
+    pub xlen: u32,
+    /// Worst-case completion latency of any single instruction, in cycles.
+    /// Example generation pads with at least this many NOPs.
+    pub max_latency: usize,
+    /// Minimum number of instruction instances per example program needed to
+    /// exercise every slot of the deepest structure (ROB/issue queues).
+    /// Positive-example coverage must wrap these structures or spurious
+    /// `EqConst` predicates survive mining and cause backtracking.
+    pub example_depth: usize,
+}
+
+impl Design {
+    /// Total state bits (the paper's Table 1 size metric).
+    pub fn state_bits(&self) -> u64 {
+        self.netlist.state_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rocketlite::rocket_lite;
+
+    #[test]
+    fn design_metadata_is_consistent() {
+        let d = rocket_lite(16);
+        assert!(!d.observable.is_empty());
+        // x0 is hardwired to zero, so it is not a secret-bearing register.
+        assert_eq!(d.secret_regs.len(), d.nregs - 1);
+        assert!(d.netlist.find_input(&d.instr_input).is_some());
+        d.netlist.assert_complete();
+    }
+}

@@ -1,0 +1,187 @@
+//! The iterative multiplier with a zero-skip fast path — Figure 7 of the
+//! paper, generalised to a parameterised width.
+//!
+//! The unit takes `xlen + 1` cycles for non-zero operands (one cycle per
+//! multiplier bit plus the issue cycle) but answers in a single cycle when
+//! either operand is zero. That operand-dependent latency is the timing
+//! channel that makes `mul`-family instructions *unsafe* on RocketLite, just
+//! as the paper found for RV64 Rocketchip (§6.4).
+
+use hh_netlist::{Bv, Netlist, NodeId, StateId};
+
+/// Handles to the state elements of one iterative multiplier instance.
+#[derive(Debug, Clone)]
+pub struct IterMul {
+    /// Busy flag (`in_use` in Figure 7).
+    pub in_use: StateId,
+    /// Iteration counter.
+    pub count: StateId,
+    /// Result-ready pulse (`Valid_mul`).
+    pub valid: StateId,
+    /// Accumulated product (`Res_mul`).
+    pub result: StateId,
+    /// Shifting multiplicand.
+    pub multiplicand: StateId,
+    /// Shifting multiplier.
+    pub multiplier: StateId,
+}
+
+/// Instantiates an iterative zero-skip multiplier inside `n`.
+///
+/// `start` must be high for exactly the issue cycle (the caller guards it
+/// with `!in_use & !valid`); `op1`/`op2` are sampled during that cycle.
+/// State names are prefixed with `prefix`.
+pub fn iter_mul(
+    n: &mut Netlist,
+    prefix: &str,
+    start: NodeId,
+    op1: NodeId,
+    op2: NodeId,
+    xlen: u32,
+) -> IterMul {
+    let cbits = 32 - (xlen - 1).leading_zeros(); // log2ceil(xlen)
+    let in_use = n.state(format!("{prefix}in_use"), 1, Bv::bit(false));
+    let count = n.state(format!("{prefix}count"), cbits, Bv::zero(cbits));
+    let valid = n.state(format!("{prefix}valid"), 1, Bv::bit(false));
+    let result = n.state(format!("{prefix}res"), xlen, Bv::zero(xlen));
+    let mcand = n.state(format!("{prefix}mcand"), xlen, Bv::zero(xlen));
+    let mplier = n.state(format!("{prefix}mplier"), xlen, Bv::zero(xlen));
+
+    let in_use_n = n.state_node(in_use);
+    let count_n = n.state_node(count);
+    let res_n = n.state_node(result);
+    let mcand_n = n.state_node(mcand);
+    let mplier_n = n.state_node(mplier);
+
+    let zero_x = n.c(xlen, 0);
+    let zs1 = n.eq(op1, zero_x);
+    let zs2 = n.eq(op2, zero_x);
+    let zero_skip = n.or(zs1, zs2);
+    let go = start; // caller guarantees !in_use & !valid
+    let go_fast = n.and(go, zero_skip);
+    let nzs = n.not(zero_skip);
+    let go_slow = n.and(go, nzs);
+
+    // Iteration datapath.
+    let bit0 = n.bit(mplier_n, 0);
+    let acc_plus = n.add(res_n, mcand_n);
+    let acc_next = n.ite(bit0, acc_plus, res_n);
+    let one = n.c(xlen, 1);
+    let mcand_shift = n.shl(mcand_n, one);
+    let mplier_shift = n.lshr(mplier_n, one);
+    let count_one = n.c(cbits, 1);
+    let count_inc = n.add(count_n, count_one);
+    let last = n.eq_const(count_n, (xlen - 1) as u64);
+
+    // in_use' = in_use ? !last : go_slow
+    let not_last = n.not(last);
+    let in_use_busy = n.and(in_use_n, not_last);
+    let in_use_next = n.or(in_use_busy, go_slow);
+    n.set_next(in_use, in_use_next);
+
+    // count' = in_use ? count + 1 : 0
+    let zero_c = n.c(cbits, 0);
+    let count_next = n.ite(in_use_n, count_inc, zero_c);
+    n.set_next(count, count_next);
+
+    // valid' = (in_use & last) | go_fast    (a one-cycle pulse)
+    let done_slow = n.and(in_use_n, last);
+    let valid_next = n.or(done_slow, go_fast);
+    n.set_next(valid, valid_next);
+
+    // result' = in_use ? acc_next : (go ? 0 : result)
+    //   (on go_fast the result is 0 because an operand is 0)
+    let res_idle = n.ite(go, zero_x, res_n);
+    let res_next = n.ite(in_use_n, acc_next, res_idle);
+    n.set_next(result, res_next);
+
+    // multiplicand/multiplier: load on go, shift while busy.
+    let mcand_busy = n.ite(in_use_n, mcand_shift, mcand_n);
+    let mcand_next = n.ite(go, op1, mcand_busy);
+    n.set_next(mcand, mcand_next);
+    let mplier_busy = n.ite(in_use_n, mplier_shift, mplier_n);
+    let mplier_next = n.ite(go, op2, mplier_busy);
+    n.set_next(mplier, mplier_next);
+
+    IterMul {
+        in_use,
+        count,
+        valid,
+        result,
+        multiplicand: mcand,
+        multiplier: mplier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_netlist::eval::{step, InputValues, StateValues};
+
+    /// Standalone harness: ops and start come from inputs.
+    fn harness() -> (Netlist, IterMul) {
+        let mut n = Netlist::new("mul_test");
+        let start_in = n.input("start", 1);
+        let op1 = n.input("op1", 16);
+        let op2 = n.input("op2", 16);
+        // Guard: start only effective when idle, as the cores do.
+        let m_states = {
+            // Need in_use/valid before building the guard; build the unit
+            // with a raw start and rely on the testbench to pulse correctly.
+            iter_mul(&mut n, "m$", start_in, op1, op2, 16)
+        };
+        (n, m_states)
+    }
+
+    /// Runs a multiply and returns (latency_cycles, result).
+    fn run_mul(a: u64, b: u64) -> (usize, u64) {
+        let (n, m) = harness();
+        let mut s = StateValues::initial(&n);
+        // Cycle 0: pulse start with operands.
+        let mut iv = InputValues::zeros(&n);
+        iv.set_by_name(&n, "start", Bv::bit(true));
+        iv.set_by_name(&n, "op1", Bv::new(16, a));
+        iv.set_by_name(&n, "op2", Bv::new(16, b));
+        s = step(&n, &s, &iv);
+        let idle = InputValues::zeros(&n);
+        for cycle in 1..=40 {
+            if s.get(m.valid).is_true() {
+                return (cycle, s.get(m.result).bits());
+            }
+            s = step(&n, &s, &idle);
+        }
+        panic!("multiplier never finished");
+    }
+
+    #[test]
+    fn computes_products() {
+        assert_eq!(run_mul(7, 6).1, 42);
+        assert_eq!(run_mul(255, 255).1, (255 * 255) & 0xffff);
+        assert_eq!(run_mul(1000, 60).1, 60000);
+        assert_eq!(run_mul(0x100, 0x100).1, 0); // wraps at 16 bits
+    }
+
+    #[test]
+    fn zero_skip_is_fast() {
+        let (lat0, res0) = run_mul(0, 1234);
+        assert_eq!(res0, 0);
+        assert_eq!(lat0, 1, "zero-skip must answer in one cycle");
+        let (lat0b, _) = run_mul(1234, 0);
+        assert_eq!(lat0b, 1);
+    }
+
+    #[test]
+    fn nonzero_takes_full_iteration() {
+        let (lat, _) = run_mul(3, 5);
+        assert_eq!(lat, 17, "16 iterations + issue cycle");
+        // Latency is operand-value independent as long as both are nonzero.
+        assert_eq!(run_mul(0xffff, 1).0, 17);
+    }
+
+    #[test]
+    fn timing_leak_exists() {
+        // The timing channel the paper exploits: latency differs between a
+        // zero and a non-zero operand.
+        assert_ne!(run_mul(0, 7).0, run_mul(3, 7).0);
+    }
+}

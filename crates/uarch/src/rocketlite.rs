@@ -1,0 +1,412 @@
+//! RocketLite: an in-order multicycle RISC-V core.
+//!
+//! A scaled-down analogue of the paper's Rocketchip target. One instruction
+//! is in flight at a time; the instruction arrives as a free input (the
+//! paper's input alphabet Σ), is latched into `dec_instr`, and executes on
+//! one of four paths with *deliberately realistic timing behaviour*:
+//!
+//! * ALU (incl. `lui`/`auipc`): 1 cycle through a barrel-shifter ALU — safe.
+//! * MUL: the iterative zero-skip multiplier of Figure 7 — latency depends
+//!   on whether an operand is zero, so `mul`-family instructions leak (the
+//!   paper found the same on RV64 Rocketchip).
+//! * MEM (`lw`/`sw`): a 4-line direct-mapped cache; hits answer in 2 cycles,
+//!   misses in 5 — latency depends on the (data-derived) address.
+//! * Branches/`jal`: taken costs an extra flush cycle — latency depends on
+//!   the register comparison.
+//!
+//! The attacker observes the `wb_valid` retirement pulse; the 2-safety
+//! target is `Eq(wb_valid)`.
+
+use crate::alu::{alu_result, branch_taken};
+use crate::decode::{decode, reg_bits, rf_read};
+use crate::mulunit::iter_mul;
+use crate::Design;
+use hh_isa::Instruction;
+use hh_netlist::{Bv, Netlist, NodeId};
+
+/// Number of architectural registers modelled.
+pub const NREGS: usize = 8;
+
+/// Name of the instruction input.
+pub const INSTR_INPUT: &str = "instr";
+
+/// Cache geometry: 4 direct-mapped lines of 4 bytes.
+const CACHE_LINES: usize = 4;
+/// Miss penalty beyond the hit path, in countdown cycles.
+const MISS_CYCLES: u64 = 3;
+
+/// Builds RocketLite with the given datapath width (8..=32).
+pub fn rocket_lite(xlen: u32) -> Design {
+    let mut n = Netlist::new(format!("rocketlite_x{xlen}"));
+    let rb = reg_bits(NREGS);
+
+    // ------------------------------------------------------------------
+    // Architectural state
+    // ------------------------------------------------------------------
+    let rf: Vec<_> = (0..NREGS)
+        .map(|i| n.state(format!("rf{i}"), xlen, Bv::zero(xlen)))
+        .collect();
+    let pc = n.state("pc", xlen, Bv::zero(xlen));
+
+    // Decode/hold register: the instruction currently in flight.
+    let nop = Instruction::nop().encode() as u64;
+    let dec_instr = n.state("dec_instr", 32, Bv::new(32, nop));
+    let dec_valid = n.state("dec_valid", 1, Bv::bit(false));
+
+    // Observable retirement pulse.
+    let wb_valid = n.state("wb_valid", 1, Bv::bit(false));
+
+    let instr_in = n.input(INSTR_INPUT, 32);
+
+    // ------------------------------------------------------------------
+    // Decode and operand fetch
+    // ------------------------------------------------------------------
+    let di = n.state_node(dec_instr);
+    let dv = n.state_node(dec_valid);
+    let d = decode(&mut n, di, xlen, NREGS);
+    let rf_nodes: Vec<NodeId> = rf.iter().map(|&r| n.state_node(r)).collect();
+    let rs1val = rf_read(&mut n, &rf_nodes, d.rs1);
+    let rs2val = rf_read(&mut n, &rf_nodes, d.rs2);
+    let pcn = n.state_node(pc);
+
+    // ------------------------------------------------------------------
+    // ALU path (1 cycle)
+    // ------------------------------------------------------------------
+    let alu_out = alu_result(&mut n, &d, pcn, rs1val, rs2val, xlen);
+    let alu_done = n.and(dv, d.is_alu);
+
+    // ------------------------------------------------------------------
+    // MUL path (iterative, zero-skip)
+    // ------------------------------------------------------------------
+    let mul_started = n.state("mul_started", 1, Bv::bit(false));
+    let msn = n.state_node(mul_started);
+    let exec_mul = n.and(dv, d.is_mul);
+    let not_started = n.not(msn);
+    let mul_start = n.and(exec_mul, not_started);
+    let mul = iter_mul(&mut n, "mul$", mul_start, rs1val, rs2val, xlen);
+    let mul_valid_n = n.state_node(mul.valid);
+    let mul_done = n.and(exec_mul, mul_valid_n);
+    // started' = (started | start) & !done
+    let set = n.or(msn, mul_start);
+    let not_done = n.not(mul_done);
+    let started_next = n.and(set, not_done);
+    n.set_next(mul_started, started_next);
+
+    // ------------------------------------------------------------------
+    // MEM path (direct-mapped cache latency model)
+    // ------------------------------------------------------------------
+    let tag_bits = xlen - 4; // addr[xlen-1:4]
+    let ctags: Vec<_> = (0..CACHE_LINES)
+        .map(|i| n.state(format!("ctag{i}"), tag_bits, Bv::zero(tag_bits)))
+        .collect();
+    let cvalids: Vec<_> = (0..CACHE_LINES)
+        .map(|i| n.state(format!("cvalid{i}"), 1, Bv::bit(false)))
+        .collect();
+    let mem_busy = n.state("mem_busy", 1, Bv::bit(false));
+    let mem_cnt = n.state("mem_cnt", 2, Bv::zero(2));
+    let mem_valid = n.state("mem_valid", 1, Bv::bit(false));
+
+    let is_mem = n.or(d.is_load, d.is_store);
+    let mem_imm = n.ite(d.is_store, d.imm_s, d.imm_i);
+    let addr = n.add(rs1val, mem_imm);
+    let idx = n.slice(addr, 3, 2);
+    let tag = n.slice(addr, xlen - 1, 4);
+    let mut hit_terms = Vec::new();
+    for i in 0..CACHE_LINES {
+        let sel = n.eq_const(idx, i as u64);
+        let tn = n.state_node(ctags[i]);
+        let teq = n.eq(tn, tag);
+        let vn = n.state_node(cvalids[i]);
+        let line_hit = n.and_all(&[sel, teq, vn]);
+        hit_terms.push(line_hit);
+    }
+    let hit = n.or_all(&hit_terms);
+
+    let mbn = n.state_node(mem_busy);
+    let mvn = n.state_node(mem_valid);
+    let exec_mem = n.and(dv, is_mem);
+    let not_busy = n.not(mbn);
+    let not_mv = n.not(mvn);
+    let mem_idle = n.and(not_busy, not_mv);
+    let mem_start = n.and(exec_mem, mem_idle);
+    let miss = n.not(hit);
+    let mem_start_miss = n.and(mem_start, miss);
+    let mem_start_hit = n.and(mem_start, hit);
+    let cnt = n.state_node(mem_cnt);
+    let cnt_zero = n.eq_const(cnt, 0);
+    let mem_finish = n.and(mbn, cnt_zero);
+    // mem_valid' = (start & hit) | (busy & cnt==0)
+    let mem_valid_next = n.or(mem_start_hit, mem_finish);
+    n.set_next(mem_valid, mem_valid_next);
+    // mem_busy' = (start & miss) | (busy & cnt != 0)
+    let not_finish = n.not(cnt_zero);
+    let still = n.and(mbn, not_finish);
+    let mem_busy_next = n.or(mem_start_miss, still);
+    n.set_next(mem_busy, mem_busy_next);
+    // cnt' = start&miss ? MISS : busy ? cnt-1 : cnt
+    let miss_c = n.c(2, MISS_CYCLES);
+    let one2 = n.c(2, 1);
+    let dec = n.sub(cnt, one2);
+    let cnt_busy = n.ite(mbn, dec, cnt);
+    let cnt_next = n.ite(mem_start_miss, miss_c, cnt_busy);
+    n.set_next(mem_cnt, cnt_next);
+    // Fill the line on a miss (at start).
+    for i in 0..CACHE_LINES {
+        let sel = n.eq_const(idx, i as u64);
+        let fill = n.and(mem_start_miss, sel);
+        let tn = n.state_node(ctags[i]);
+        let t_next = n.ite(fill, tag, tn);
+        n.set_next(ctags[i], t_next);
+        let vn = n.state_node(cvalids[i]);
+        let v_next = n.or(fill, vn);
+        n.set_next(cvalids[i], v_next);
+    }
+    let mem_done = n.and(exec_mem, mvn);
+    // Loaded data: modelled as the address value (no backing memory array).
+    let mem_data = addr;
+
+    // ------------------------------------------------------------------
+    // Branch/JAL path (taken costs a flush cycle)
+    // ------------------------------------------------------------------
+    let br_flush = n.state("br_flush", 1, Bv::bit(false));
+    let bfn = n.state_node(br_flush);
+    let is_ctrl = n.or(d.is_branch, d.is_jal);
+    let exec_ctrl = n.and(dv, is_ctrl);
+    let taken_b = branch_taken(&mut n, &d, rs1val, rs2val);
+    let taken = n.or(taken_b, d.is_jal); // jal always redirects
+    let not_flush = n.not(bfn);
+    let exec_ctrl_fresh = n.and(exec_ctrl, not_flush);
+    let not_taken = n.not(taken);
+    let br_done_fast = n.and(exec_ctrl_fresh, not_taken);
+    let br_start = n.and(exec_ctrl_fresh, taken);
+    n.set_next(br_flush, br_start);
+    let br_done_slow = n.and(exec_ctrl, bfn);
+    let br_done = n.or(br_done_fast, br_done_slow);
+
+    // ------------------------------------------------------------------
+    // Completion, writeback, instruction latch
+    // ------------------------------------------------------------------
+    let complete = n.or_all(&[alu_done, mul_done, mem_done, br_done]);
+    n.set_next(wb_valid, complete);
+
+    // Writeback data/enable.
+    let mul_res_n = n.state_node(mul.result);
+    let wb_data = {
+        let from_mem = n.ite(mem_done, mem_data, alu_out);
+        n.ite(mul_done, mul_res_n, from_mem)
+    };
+    let wb_en = n.and(complete, d.writes_rd);
+
+    // Register file update (x0 pinned to zero).
+    let zero_x = n.c(xlen, 0);
+    n.set_next(rf[0], zero_x);
+    for (i, &r) in rf.iter().enumerate().skip(1) {
+        let sel = n.eq_const(d.rd, i as u64);
+        let we = n.and(wb_en, sel);
+        let cur = n.state_node(r);
+        let nxt = n.ite(we, wb_data, cur);
+        n.set_next(r, nxt);
+    }
+
+    // PC tracks retirement (branch targets are not architecturally modelled;
+    // only timing matters for the 2-safety property).
+    let four = n.c(xlen, 4);
+    let pc_inc = n.add(pcn, four);
+    let pc_next = n.ite(complete, pc_inc, pcn);
+    n.set_next(pc, pc_next);
+
+    // Instruction latch: accept a new instruction when idle or completing.
+    let busy_next_instr = {
+        let not_complete = n.not(complete);
+        n.and(dv, not_complete)
+    };
+    let d_in_known = {
+        // Accept only encodings the core implements; others are dropped
+        // (they would raise an illegal-instruction trap on real hardware).
+        let din = decode(&mut n, instr_in, xlen, NREGS);
+        din.known
+    };
+    let dec_valid_next = {
+        let accept = n.not(busy_next_instr);
+        let latch = n.and(accept, d_in_known);
+        n.or(busy_next_instr, latch)
+    };
+    n.set_next(dec_valid, dec_valid_next);
+    let dec_instr_next = n.ite(busy_next_instr, di, instr_in);
+    n.set_next(dec_instr, dec_instr_next);
+
+    let wbv_node = n.state_node(wb_valid);
+    n.add_output("wb_valid", wbv_node);
+
+    n.assert_complete();
+    let _ = rb;
+    Design {
+        netlist: n,
+        instr_input: INSTR_INPUT.to_string(),
+        observable: vec![wb_valid],
+        secret_regs: rf[1..].to_vec(),
+        masking: Vec::new(), // in-order: no masking needed (paper §5.2.1)
+        nregs: NREGS,
+        xlen,
+        max_latency: xlen as usize + 4,
+        example_depth: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_isa::asm;
+    use hh_netlist::eval::{step, InputValues, StateValues};
+
+    fn feed(d: &Design, word: u32) -> InputValues {
+        let mut iv = InputValues::zeros(&d.netlist);
+        iv.set_by_name(&d.netlist, INSTR_INPUT, Bv::new(32, word as u64));
+        iv
+    }
+
+    /// Runs `instr` from a state with the given register values; returns the
+    /// number of cycles until the `wb_valid` pulse.
+    fn latency(d: &Design, regs: &[u64], instr: hh_isa::Instruction) -> (usize, StateValues) {
+        let n = &d.netlist;
+        let mut s = StateValues::initial(n);
+        for (i, &v) in regs.iter().enumerate() {
+            if i > 0 {
+                s.set(d.secret_regs[i - 1], Bv::new(d.xlen, v));
+            }
+        }
+        s = step(n, &s, &feed(d, instr.encode()));
+        let nopw = asm::nop().encode();
+        for cycle in 1..=64 {
+            s = step(n, &s, &feed(d, nopw));
+            if s.get(d.observable[0]).is_true() {
+                return (cycle, s);
+            }
+        }
+        panic!("instruction never retired");
+    }
+
+    fn rf_value(d: &Design, s: &StateValues, r: usize) -> u64 {
+        assert!(r >= 1);
+        s.get(d.secret_regs[r - 1]).bits()
+    }
+
+    #[test]
+    fn alu_ops_execute_and_write_back() {
+        let d = rocket_lite(16);
+        let (lat, s) = latency(&d, &[0, 7, 8], asm::add(3, 1, 2));
+        assert_eq!(rf_value(&d, &s, 3), 15);
+        assert_eq!(lat, 1);
+        // NOP retires too (it is addi x0,x0,0).
+        let (lat_nop, _) = latency(&d, &[0, 0, 0], asm::nop());
+        assert_eq!(lat_nop, 1);
+    }
+
+    #[test]
+    fn alu_timing_is_operand_independent() {
+        let d = rocket_lite(16);
+        let (a, _) = latency(&d, &[0, 1, 2], asm::add(3, 1, 2));
+        let (b, _) = latency(&d, &[0, 0xffff, 0xffff], asm::add(3, 1, 2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mul_computes_but_leaks_timing() {
+        let d = rocket_lite(16);
+        let (lat_nz, s) = latency(&d, &[0, 7, 6], asm::mul(3, 1, 2));
+        assert_eq!(rf_value(&d, &s, 3), 42);
+        let (lat_z, s2) = latency(&d, &[0, 0, 6], asm::mul(3, 1, 2));
+        assert_eq!(rf_value(&d, &s2, 3), 0);
+        assert!(lat_z < lat_nz, "zero-skip visible at retirement");
+    }
+
+    #[test]
+    fn load_timing_depends_on_cache_state() {
+        let d = rocket_lite(16);
+        // Cold cache: miss.
+        let (lat_miss, _) = latency(&d, &[0, 0x40], asm::lw(3, 1, 0));
+        // Run two loads to the same address back to back: second hits.
+        let n = &d.netlist;
+        let mut s = StateValues::initial(n);
+        s.set(d.secret_regs[0], Bv::new(16, 0x40)); // rf1
+        let lw = asm::lw(3, 1, 0).encode();
+        let nopw = asm::nop().encode();
+        s = step(n, &s, &feed(&d, lw));
+        let mut first = None;
+        for cycle in 1..=32 {
+            s = step(n, &s, &feed(&d, nopw));
+            if s.get(d.observable[0]).is_true() {
+                first = Some(cycle);
+                break;
+            }
+        }
+        let first = first.unwrap();
+        assert_eq!(first, lat_miss);
+        // Issue the same load again.
+        s = step(n, &s, &feed(&d, lw));
+        let mut second = None;
+        for cycle in 1..=32 {
+            s = step(n, &s, &feed(&d, nopw));
+            if s.get(d.observable[0]).is_true() {
+                second = Some(cycle);
+                break;
+            }
+        }
+        assert!(second.unwrap() < first, "cache hit must be faster");
+    }
+
+    #[test]
+    fn branch_timing_depends_on_outcome() {
+        let d = rocket_lite(16);
+        let (taken, _) = latency(&d, &[0, 5, 5], asm::beq(1, 2, 8));
+        let (not_taken, _) = latency(&d, &[0, 5, 6], asm::beq(1, 2, 8));
+        assert!(taken > not_taken);
+    }
+
+    #[test]
+    fn back_to_back_instructions() {
+        // Feed two adds separated by the retire bubble; both must land.
+        let d = rocket_lite(16);
+        let n = &d.netlist;
+        let mut s = StateValues::initial(n);
+        s.set(d.secret_regs[0], Bv::new(16, 1)); // rf1 = 1
+        s.set(d.secret_regs[1], Bv::new(16, 2)); // rf2 = 2
+        let prog = [
+            asm::add(3, 1, 2).encode(), // rf3 = 3
+            asm::nop().encode(),
+            asm::add(4, 3, 3).encode(), // rf4 = 6
+            asm::nop().encode(),
+            asm::nop().encode(),
+            asm::nop().encode(),
+        ];
+        for w in prog {
+            s = step(n, &s, &feed(&d, w));
+        }
+        assert_eq!(rf_value(&d, &s, 3), 3);
+        assert_eq!(rf_value(&d, &s, 4), 6);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let d = rocket_lite(16);
+        let (_, s) = latency(&d, &[0, 7, 8], asm::add(0, 1, 2));
+        let rf0 = d.netlist.find_state("rf0").unwrap();
+        assert_eq!(s.get(rf0).bits(), 0);
+    }
+
+    #[test]
+    fn unknown_instruction_is_dropped() {
+        let d = rocket_lite(16);
+        let n = &d.netlist;
+        let mut s = StateValues::initial(n);
+        s = step(n, &s, &feed(&d, 0xffff_ffff));
+        let dec_valid = n.find_state("dec_valid").unwrap();
+        assert!(!s.get(dec_valid).is_true());
+    }
+
+    #[test]
+    fn state_bits_are_reported() {
+        let d = rocket_lite(16);
+        assert!(d.state_bits() > 200, "got {}", d.state_bits());
+    }
+}

@@ -1,0 +1,213 @@
+//! The `veloct` command-line tool: safe-instruction-set synthesis for a
+//! hardware design given in btor2 (the input format of the paper's tool,
+//! §6.1) plus command-line annotations.
+//!
+//! ```text
+//! veloct --design <file.btor2> \
+//!        --instr-input <input-name> \
+//!        --observable <state-name> [--observable <state>...] \
+//!        --secret-reg <state-name> [--secret-reg <state>...] \
+//!        [--mask <valid-state>=<field-state>[,<field-state>...]]... \
+//!        [--xlen 16] [--max-latency 24] [--threads N] [--impl-predicates] \
+//!        [--builtin rocketlite|boom-small|boom-medium|boom-large|boom-mega]
+//! ```
+//!
+//! With `--builtin`, the design and all annotations come from `hh-uarch` and
+//! the remaining options are ignored; otherwise the btor2 file plus the
+//! annotations define the verification target.
+
+use hh_netlist::btor2::parse_btor2;
+use hh_uarch::boomlite::{boom_lite, BoomVariant};
+use hh_uarch::rocketlite::rocket_lite;
+use hh_uarch::{Design, MaskRule};
+use std::process::ExitCode;
+use veloct::{default_candidates, Veloct, VeloctConfig};
+
+#[derive(Debug, Default)]
+struct Args {
+    design_path: Option<String>,
+    builtin: Option<String>,
+    instr_input: Option<String>,
+    observables: Vec<String>,
+    secret_regs: Vec<String>,
+    masks: Vec<(String, Vec<String>)>,
+    xlen: u32,
+    max_latency: usize,
+    threads: usize,
+    impl_predicates: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: veloct --builtin <rocketlite|boom-small|boom-medium|boom-large|boom-mega>\n\
+         \x20      | veloct --design <file.btor2> --instr-input <name>\n\
+         \x20               --observable <state>... --secret-reg <state>...\n\
+         \x20               [--mask <valid>=<field>[,<field>...]]...\n\
+         \x20               [--xlen N] [--max-latency N]\n\
+         \x20      common: [--threads N] [--impl-predicates]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        xlen: 16,
+        max_latency: 24,
+        threads: 1,
+        ..Args::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--design" => args.design_path = Some(val(&mut it)),
+            "--builtin" => args.builtin = Some(val(&mut it)),
+            "--instr-input" => args.instr_input = Some(val(&mut it)),
+            "--observable" => args.observables.push(val(&mut it)),
+            "--secret-reg" => args.secret_regs.push(val(&mut it)),
+            "--mask" => {
+                let spec = val(&mut it);
+                let (valid, fields) = spec.split_once('=').unwrap_or_else(|| usage());
+                args.masks.push((
+                    valid.to_string(),
+                    fields.split(',').map(|s| s.to_string()).collect(),
+                ));
+            }
+            "--xlen" => args.xlen = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--max-latency" => {
+                args.max_latency = val(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--threads" => args.threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--impl-predicates" => args.impl_predicates = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn load_design(args: &Args) -> Result<Design, String> {
+    if let Some(name) = &args.builtin {
+        return Ok(match name.as_str() {
+            "rocketlite" => rocket_lite(args.xlen),
+            "boom-small" => boom_lite(BoomVariant::Small, args.xlen),
+            "boom-medium" => boom_lite(BoomVariant::Medium, args.xlen),
+            "boom-large" => boom_lite(BoomVariant::Large, args.xlen),
+            "boom-mega" => boom_lite(BoomVariant::Mega, args.xlen),
+            other => return Err(format!("unknown builtin design: {other}")),
+        });
+    }
+    let path = args.design_path.as_ref().ok_or("missing --design or --builtin")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let netlist = parse_btor2(&text).map_err(|e| e.to_string())?;
+
+    let instr_input = args
+        .instr_input
+        .clone()
+        .ok_or("missing --instr-input for a btor2 design")?;
+    if netlist.find_input(&instr_input).is_none() {
+        return Err(format!("design has no input named {instr_input}"));
+    }
+    let find = |name: &str| {
+        netlist
+            .find_state(name)
+            .ok_or_else(|| format!("design has no state named {name}"))
+    };
+    let mut observable = Vec::new();
+    for o in &args.observables {
+        observable.push(find(o)?);
+    }
+    if observable.is_empty() {
+        return Err("at least one --observable is required".into());
+    }
+    let mut secret_regs = Vec::new();
+    for s in &args.secret_regs {
+        secret_regs.push(find(s)?);
+    }
+    if secret_regs.is_empty() {
+        return Err("at least one --secret-reg is required".into());
+    }
+    let mut masking = Vec::new();
+    for (valid, fields) in &args.masks {
+        let valid = find(valid)?;
+        let mut fs = Vec::new();
+        for f in fields {
+            fs.push(find(f)?);
+        }
+        masking.push(MaskRule { valid, fields: fs });
+    }
+    let nregs = secret_regs.len() + 1;
+    Ok(Design {
+        netlist,
+        instr_input,
+        observable,
+        secret_regs,
+        masking,
+        nregs,
+        xlen: args.xlen,
+        max_latency: args.max_latency,
+        example_depth: args.max_latency.max(8),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let design = match load_design(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "design: {} — {} state bits, {} state elements, {} inputs",
+        design.netlist.name(),
+        design.state_bits(),
+        design.netlist.num_states(),
+        design.netlist.num_inputs()
+    );
+
+    let veloct = Veloct::with_config(
+        &design,
+        VeloctConfig {
+            threads: args.threads,
+            pairs_per_instr: 1,
+            impl_predicates: args.impl_predicates,
+            ..VeloctConfig::default()
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let report = veloct.classify(&default_candidates());
+    let elapsed = t0.elapsed();
+
+    println!("\nverified safe instruction set ({} instructions):", report.safe.len());
+    let names: Vec<&str> = report.safe.iter().map(|m| m.name()).collect();
+    println!("  {}", names.join(", "));
+    if !report.rejected.is_empty() {
+        println!("excluded:");
+        for (m, why) in &report.rejected {
+            println!("  {:8} {:?}", m.name(), why);
+        }
+    }
+    match &report.invariant {
+        Some(inv) => {
+            println!(
+                "\ninvariant: {} predicates | {} tasks | {} backtracks | {} SMT queries | {elapsed:.2?}",
+                inv.len(),
+                report.stats.num_tasks(),
+                report.stats.backtracks,
+                report.stats.smt_queries
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("\nno invariant learned for any candidate subset");
+            ExitCode::FAILURE
+        }
+    }
+}

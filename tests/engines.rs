@@ -1,0 +1,177 @@
+//! Engine-level integration: serial vs parallel agreement, memoisation and
+//! scheduling telemetry, baseline cross-checks — all on real processor
+//! designs rather than toy circuits.
+
+use hh_suite::hhoudini::baselines::BaselineBudget;
+use hh_suite::hhoudini::mine::CoiMiner;
+use hh_suite::hhoudini::{EngineConfig, ParallelEngine, SerialEngine};
+use hh_suite::isa::{InstrClass, Mnemonic, ALL_MNEMONICS};
+use hh_suite::netlist::miter::Miter;
+use hh_suite::smt::{EncodeScope, Predicate};
+use hh_suite::uarch::boomlite::{boom_lite, BoomVariant};
+use hh_suite::uarch::rocketlite::rocket_lite;
+use hh_suite::uarch::decode::matches_pattern;
+use hh_suite::uarch::Design;
+use hh_suite::veloct::examples::generate_examples;
+use hh_suite::veloct::{instruction_patterns, BaselineKind, Veloct, VeloctConfig};
+
+fn alu_set() -> Vec<Mnemonic> {
+    ALL_MNEMONICS
+        .iter()
+        .copied()
+        .filter(|m| m.class() == InstrClass::Alu)
+        .collect()
+}
+
+/// Builds the constrained miter + examples + miner for a design/safe set.
+fn setup(
+    design: &Design,
+    safe: &[Mnemonic],
+) -> (Miter, Vec<hh_suite::netlist::eval::StateValues>, Vec<Predicate>) {
+    let mut miter = Miter::build(&design.netlist);
+    let patterns = instruction_patterns(safe);
+    let instr = miter.netlist().find_input(&design.instr_input).unwrap();
+    let terms: Vec<_> = patterns
+        .iter()
+        .map(|p| {
+            let mm = hh_suite::isa::MaskMatch {
+                mask: p.mask as u32,
+                matches: p.value as u32,
+            };
+            matches_pattern(miter.netlist_mut(), instr, mm)
+        })
+        .collect();
+    let c = miter.netlist_mut().or_all(&terms);
+    miter.netlist_mut().add_constraint(c);
+    let examples = generate_examples(design, &miter, safe, 1, 42).expect("safe set");
+    let props: Vec<Predicate> = design
+        .observable
+        .iter()
+        .map(|&o| Predicate::eq(miter.left(o), miter.right(o)))
+        .collect();
+    (miter, examples, props)
+}
+
+#[test]
+fn serial_and_parallel_agree_on_rocketlite() {
+    let design = rocket_lite(16);
+    let safe = alu_set();
+    let (miter, examples, props) = setup(&design, &safe);
+    let patterns = instruction_patterns(&safe);
+
+    let miner_s = CoiMiner::new(&miter, &examples, Some(patterns.clone()), vec![]);
+    let mut serial = SerialEngine::new(miter.netlist(), miner_s, EngineConfig::default());
+    let inv_s = serial.learn(&props).expect("serial invariant");
+
+    let miner_p = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
+    let mut par = ParallelEngine::new(miter.netlist(), miner_p, EngineConfig::default(), 3);
+    let inv_p = par.learn(&props).expect("parallel invariant");
+
+    assert!(inv_s.verify_monolithic(miter.netlist()));
+    assert!(inv_p.verify_monolithic(miter.netlist()));
+    assert_eq!(inv_s.preds(), inv_p.preds(), "engines must find the same invariant");
+}
+
+#[test]
+fn serial_and_parallel_agree_on_boomlite() {
+    let design = boom_lite(BoomVariant::Small, 16);
+    let safe: Vec<Mnemonic> = ALL_MNEMONICS
+        .iter()
+        .copied()
+        .filter(|m| {
+            (m.class() == InstrClass::Alu && *m != Mnemonic::Auipc)
+                || m.class() == InstrClass::Mul
+        })
+        .collect();
+    let (miter, examples, props) = setup(&design, &safe);
+    let patterns = instruction_patterns(&safe);
+
+    let miner_s = CoiMiner::new(&miter, &examples, Some(patterns.clone()), vec![]);
+    let mut serial = SerialEngine::new(miter.netlist(), miner_s, EngineConfig::default());
+    let inv_s = serial.learn(&props).expect("serial invariant");
+
+    let miner_p = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
+    let mut par = ParallelEngine::new(miter.netlist(), miner_p, EngineConfig::default(), 4);
+    let inv_p = par.learn(&props).expect("parallel invariant");
+
+    assert!(inv_s.verify_monolithic(miter.netlist()));
+    assert!(inv_p.verify_monolithic(miter.netlist()));
+    // Both inductive and both prove the property; exact predicate sets may
+    // differ by solver nondeterminism across wave orderings, but sizes
+    // should be close.
+    let (a, b) = (inv_s.len(), inv_p.len());
+    assert!(a.abs_diff(b) <= a.max(b) / 2, "sizes too different: {a} vs {b}");
+}
+
+#[test]
+fn task_dag_exhibits_parallelism() {
+    let design = boom_lite(BoomVariant::Small, 16);
+    let safe: Vec<Mnemonic> = alu_set().into_iter().filter(|&m| m != Mnemonic::Auipc).collect();
+    let (miter, examples, props) = setup(&design, &safe);
+    let patterns = instruction_patterns(&safe);
+    let miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
+    let mut par = ParallelEngine::new(miter.netlist(), miner, EngineConfig::default(), 2);
+    par.learn(&props).expect("invariant");
+    let stats = par.stats();
+    // Figure 2's premise: simulated time falls as cores increase, down to
+    // the span, and the span is far below the serial sum.
+    let t1 = stats.simulated_time(1);
+    let t4 = stats.simulated_time(4);
+    let span = stats.span();
+    assert!(t4 <= t1);
+    assert!(span <= t4);
+    assert!(
+        span < t1 / 2,
+        "task DAG should be at least 2x parallelisable (span {span:?} vs serial {t1:?})"
+    );
+}
+
+#[test]
+fn monolithic_scope_ablation_is_more_expensive() {
+    // The cone-scoped encoding is the incremental-check advantage; forcing
+    // whole-design encodings per query must blow up query sizes.
+    let design = rocket_lite(16);
+    let safe = alu_set();
+    let (miter, examples, props) = setup(&design, &safe);
+    let patterns = instruction_patterns(&safe);
+
+    let run = |scope: EncodeScope| {
+        let miner = CoiMiner::new(&miter, &examples, Some(patterns.clone()), vec![]);
+        let mut cfg = EngineConfig::default();
+        cfg.abduction.scope = scope;
+        let mut eng = SerialEngine::new(miter.netlist(), miner, cfg);
+        let inv = eng.learn(&props).expect("invariant");
+        (inv.len(), eng.stats().smt_time)
+    };
+    let (len_cone, time_cone) = run(EncodeScope::Cone);
+    let (len_mono, time_mono) = run(EncodeScope::Monolithic);
+    assert_eq!(len_cone, len_mono, "scope must not change the result");
+    assert!(
+        time_mono > time_cone,
+        "monolithic encodings must cost more ({time_mono:?} vs {time_cone:?})"
+    );
+}
+
+#[test]
+fn baselines_agree_with_hhoudini_on_provability() {
+    let design = rocket_lite(16);
+    let v = Veloct::with_config(
+        &design,
+        VeloctConfig {
+            threads: 1,
+            pairs_per_instr: 1,
+            ..VeloctConfig::default()
+        },
+    );
+    let safe = alu_set();
+    let budget = BaselineBudget::default();
+    let h = v.learn(&safe);
+    assert!(h.invariant.is_some());
+    for kind in [BaselineKind::Houdini, BaselineKind::Sorcar] {
+        let b = v.learn_baseline(&safe, kind, &budget);
+        let inv = b.invariant.unwrap_or_else(|| panic!("{kind:?} must also prove the set"));
+        // The baselines learn a (possibly larger) invariant over the same
+        // pool; H-Houdini's property-directed one should be no larger.
+        assert!(h.invariant.as_ref().unwrap().len() <= inv.len());
+    }
+}
