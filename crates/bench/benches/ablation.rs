@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let targets = all_targets();
     let rocket = &targets[0];
     let safe = known_safe_set(rocket.name);
-    for (label, scope) in [("cone", EncodeScope::Cone), ("monolithic", EncodeScope::Monolithic)] {
+    for (label, scope) in [
+        ("cone", EncodeScope::Cone),
+        ("monolithic", EncodeScope::Monolithic),
+    ] {
         c.bench_function(&format!("ablation/scope_{label}"), |b| {
             b.iter(|| {
                 let mut cfg = EngineConfig::default();

@@ -12,12 +12,23 @@ fn bench(c: &mut Criterion) {
         let (miter, _examples, props, _patterns) = prepare(&t.design, &safe, true);
         // A representative query: the property over a handful of control
         // predicates (mirrors the hot path of the learner).
-        let dv_name = if hh_bench::is_boom(t.name) { "disp_valid" } else { "dec_valid" };
+        let dv_name = if hh_bench::is_boom(t.name) {
+            "disp_valid"
+        } else {
+            "dec_valid"
+        };
         let dv = t.design.netlist.find_state(dv_name).unwrap();
         let cands = vec![Predicate::eq(miter.left(dv), miter.right(dv))];
         let prop = props[0].clone();
         c.bench_function(&format!("fig4/abduction_query_{}", t.name), |b| {
-            b.iter(|| abduct(miter.netlist(), &prop, &cands, &AbductionConfig::paper_default()))
+            b.iter(|| {
+                abduct(
+                    miter.netlist(),
+                    &prop,
+                    &cands,
+                    &AbductionConfig::paper_default(),
+                )
+            })
         });
     }
 }

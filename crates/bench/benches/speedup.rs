@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
     });
     let v = Veloct::with_config(
         &rocket.design,
-        VeloctConfig { threads: 1, pairs_per_instr: 1, ..VeloctConfig::default() },
+        VeloctConfig {
+            threads: 1,
+            pairs_per_instr: 1,
+            ..VeloctConfig::default()
+        },
     );
     let budget = BaselineBudget::default();
     for kind in [BaselineKind::Houdini, BaselineKind::Sorcar] {

@@ -69,7 +69,14 @@ fn bench_abduction(c: &mut Criterion) {
     let target = Predicate::eq(miter.left(wb), miter.right(wb));
     let cands = vec![Predicate::eq(miter.left(dec_valid), miter.right(dec_valid))];
     c.bench_function("smt/abduction_query_rocketlite", |b| {
-        b.iter(|| abduct(miter.netlist(), &target, &cands, &AbductionConfig::paper_default()))
+        b.iter(|| {
+            abduct(
+                miter.netlist(),
+                &target,
+                &cands,
+                &AbductionConfig::paper_default(),
+            )
+        })
     });
 }
 

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let v = Veloct::with_config(
                 &rocket.design,
-                VeloctConfig { threads: 1, pairs_per_instr: 1, ..VeloctConfig::default() },
+                VeloctConfig {
+                    threads: 1,
+                    pairs_per_instr: 1,
+                    ..VeloctConfig::default()
+                },
             );
             let r = v.classify(&cands);
             assert!(r.invariant.is_some());

@@ -13,7 +13,7 @@
 
 use hh_bench::{all_targets, known_safe_set, learn_run_config, learn_run_serial, secs, Report};
 use hh_smt::EncodeScope;
-use hhoudini::{EngineConfig};
+use hhoudini::EngineConfig;
 
 fn main() {
     let mut report = Report::new();
@@ -39,8 +39,20 @@ fn main() {
         secs(mono.stats.smt_time),
         secs(mono.stats.smt_time) / secs(cone.stats.smt_time).max(1e-9),
     );
-    report.push("ablation", "scope", "cone_smt_s", secs(cone.stats.smt_time), "s");
-    report.push("ablation", "scope", "monolithic_smt_s", secs(mono.stats.smt_time), "s");
+    report.push(
+        "ablation",
+        "scope",
+        "cone_smt_s",
+        secs(cone.stats.smt_time),
+        "s",
+    );
+    report.push(
+        "ablation",
+        "scope",
+        "monolithic_smt_s",
+        secs(mono.stats.smt_time),
+        "s",
+    );
 
     // ------------------------------------------------------------------
     // 2. Core minimisation.
@@ -54,13 +66,32 @@ fn main() {
     let minimized = learn_run_config(&small.design, &safe_b, 1, min_cfg, true);
     let raw = learn_run_config(&small.design, &safe_b, 1, raw_cfg, true);
     let (a, b) = (
-        minimized.invariant.as_ref().map(|i| i.len()).unwrap_or(usize::MAX),
-        raw.invariant.as_ref().map(|i| i.len()).unwrap_or(usize::MAX),
+        minimized
+            .invariant
+            .as_ref()
+            .map(|i| i.len())
+            .unwrap_or(usize::MAX),
+        raw.invariant
+            .as_ref()
+            .map(|i| i.len())
+            .unwrap_or(usize::MAX),
     );
-    println!("  minimal cores: {a} predicates, {} tasks", minimized.stats.num_tasks());
-    println!("  raw cores    : {b} predicates, {} tasks", raw.stats.num_tasks());
+    println!(
+        "  minimal cores: {a} predicates, {} tasks",
+        minimized.stats.num_tasks()
+    );
+    println!(
+        "  raw cores    : {b} predicates, {} tasks",
+        raw.stats.num_tasks()
+    );
     assert!(a <= b, "minimal cores must not grow the invariant");
-    report.push("ablation", "min_cores", "inv_minimal", a as f64, "predicates");
+    report.push(
+        "ablation",
+        "min_cores",
+        "inv_minimal",
+        a as f64,
+        "predicates",
+    );
     report.push("ablation", "min_cores", "inv_raw", b as f64, "predicates");
 
     // ------------------------------------------------------------------
@@ -87,8 +118,20 @@ fn main() {
         memo_off.stats.num_tasks() > memo_on.stats.num_tasks(),
         "disabling memoisation must re-solve shared cones"
     );
-    report.push("ablation", "memo", "tasks_on", memo_on.stats.num_tasks() as f64, "tasks");
-    report.push("ablation", "memo", "tasks_off", memo_off.stats.num_tasks() as f64, "tasks");
+    report.push(
+        "ablation",
+        "memo",
+        "tasks_on",
+        memo_on.stats.num_tasks() as f64,
+        "tasks",
+    );
+    report.push(
+        "ablation",
+        "memo",
+        "tasks_off",
+        memo_off.stats.num_tasks() as f64,
+        "tasks",
+    );
 
     // ------------------------------------------------------------------
     // 4. Example masking (§5.2.1).
@@ -145,11 +188,20 @@ fn main() {
                 "  unmasked + Impl predicates: invariant with {} predicates ({n_impl} conditional)",
                 inv.len()
             );
-            assert!(n_impl >= 1, "the invariant should use the conditional predicate");
+            assert!(
+                n_impl >= 1,
+                "the invariant should use the conditional predicate"
+            );
         }
         None => panic!("Impl predicates must recover learnability without masking"),
     }
-    report.push("ablation", "impl_preds", "unmasked_with_impl_ok", 1.0, "bool");
+    report.push(
+        "ablation",
+        "impl_preds",
+        "unmasked_with_impl_ok",
+        1.0,
+        "bool",
+    );
 
     println!("\nAll ablations behaved as DESIGN.md §4 predicts.");
     report.finish("ablation");

@@ -35,7 +35,10 @@ fn main() {
         report.push("fig2", t.name, "span", secs(span), "s");
 
         // Shape assertions: monotone non-increasing, saturating at the span.
-        let times: Vec<f64> = cores.iter().map(|&c| secs(run.stats.simulated_time(c))).collect();
+        let times: Vec<f64> = cores
+            .iter()
+            .map(|&c| secs(run.stats.simulated_time(c)))
+            .collect();
         assert!(times.windows(2).all(|w| w[1] <= w[0] + 1e-9));
         assert!((times.last().unwrap() - secs(span)).abs() < 1e-6);
     }

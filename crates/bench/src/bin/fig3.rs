@@ -34,7 +34,13 @@ fn main() {
             tinf,
             wall
         );
-        report.push("fig3", t.name, "state_bits", t.design.state_bits() as f64, "bits");
+        report.push(
+            "fig3",
+            t.name,
+            "state_bits",
+            t.design.state_bits() as f64,
+            "bits",
+        );
         report.push("fig3", t.name, "time_80cores", t80, "s");
         report.push("fig3", t.name, "time_inf_cores", tinf, "s");
         report.push("fig3", t.name, "wall_1thread", wall, "s");

@@ -26,7 +26,12 @@ fn main() {
     );
     let mut fractions = Vec::new();
     for t in all_targets() {
-        let run = learn_run_serial_rds(&t.design, &known_safe_set(t.name), EngineConfig::default(), &[3]);
+        let run = learn_run_serial_rds(
+            &t.design,
+            &known_safe_set(t.name),
+            EngineConfig::default(),
+            &[3],
+        );
         assert!(run.invariant.is_some());
         let tasks = run.stats.num_tasks();
         let bt = run.stats.backtracks;
@@ -40,7 +45,13 @@ fn main() {
             frac * 100.0
         );
         report.push("fig5", t.name, "tasks_limited", tasks as f64, "tasks");
-        report.push("fig5", t.name, "backtracks_limited", bt as f64, "backtracks");
+        report.push(
+            "fig5",
+            t.name,
+            "backtracks_limited",
+            bt as f64,
+            "backtracks",
+        );
         if t.name != "RocketLite" {
             fractions.push(frac);
         }
@@ -70,7 +81,13 @@ fn main() {
             run.stats.memo_hits
         );
         report.push("fig5", t.name, "tasks_rich", tasks as f64, "tasks");
-        report.push("fig5", t.name, "backtracks_rich", run.stats.backtracks as f64, "backtracks");
+        report.push(
+            "fig5",
+            t.name,
+            "backtracks_rich",
+            run.stats.backtracks as f64,
+            "backtracks",
+        );
         assert!(
             run.stats.backtracks <= tasks / 10,
             "rich examples should nearly eliminate backtracking"

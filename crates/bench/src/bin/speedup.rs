@@ -55,7 +55,10 @@ fn main() {
             let label = if b.budget_exceeded {
                 f64::INFINITY // did not finish within budget
             } else {
-                assert!(b.invariant.is_some(), "{kind:?} must prove the set in budget");
+                assert!(
+                    b.invariant.is_some(),
+                    "{kind:?} must prove the set in budget"
+                );
                 secs(b.stats.wall_time)
             };
             times.push(label);
@@ -76,6 +79,40 @@ fn main() {
         report.push("speedup", t.name, "hhoudini_s", hh, "s");
         report.push("speedup", t.name, "factor_vs_houdini", f_h, "x");
         report.push("speedup", t.name, "factor_vs_sorcar", f_s, "x");
+        // Incremental-session telemetry (DESIGN.md §4.7): how much of the
+        // hierarchical learner's query stream the live sessions absorbed.
+        let s = &run.stats;
+        report.push(
+            "speedup",
+            t.name,
+            "session_hits",
+            s.session_hits as f64,
+            "queries",
+        );
+        report.push(
+            "speedup",
+            t.name,
+            "session_misses",
+            s.session_misses as f64,
+            "queries",
+        );
+        report.push(
+            "speedup",
+            t.name,
+            "session_hit_rate",
+            s.session_hit_rate(),
+            "frac",
+        );
+        report.push("speedup", t.name, "vars_saved", s.vars_saved as f64, "vars");
+        report.push(
+            "speedup",
+            t.name,
+            "clauses_saved",
+            s.clauses_saved as f64,
+            "clauses",
+        );
+        report.push("speedup", t.name, "encode_s", secs(s.encode_time), "s");
+        report.push("speedup", t.name, "solve_s", secs(s.solve_time), "s");
         factors.push(f_h.min(f_s));
     }
     // Shape: the advantage grows with design size.

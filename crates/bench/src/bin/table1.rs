@@ -30,10 +30,28 @@ fn main() {
             t.paper.0,
             t.paper.1
         );
-        report.push("table1", t.name, "state_bits", t.design.state_bits() as f64, "bits");
+        report.push(
+            "table1",
+            t.name,
+            "state_bits",
+            t.design.state_bits() as f64,
+            "bits",
+        );
         report.push("table1", t.name, "invariant_size", inv as f64, "predicates");
-        report.push("table1", t.name, "paper_state_bits", t.paper.0 as f64, "bits");
-        report.push("table1", t.name, "paper_invariant_size", t.paper.1 as f64, "predicates");
+        report.push(
+            "table1",
+            t.name,
+            "paper_state_bits",
+            t.paper.0 as f64,
+            "bits",
+        );
+        report.push(
+            "table1",
+            t.name,
+            "paper_invariant_size",
+            t.paper.1 as f64,
+            "predicates",
+        );
     }
     println!("\nShape check: both size and invariant grow monotonically Small→Mega,");
     println!("as in the paper (absolute numbers differ: synthetic cores are smaller).");

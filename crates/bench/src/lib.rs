@@ -23,7 +23,6 @@ use hh_uarch::rocketlite::rocket_lite;
 use hh_uarch::Design;
 use hhoudini::mine::CoiMiner;
 use hhoudini::{EngineConfig, Invariant, ParallelEngine, SerialEngine, Stats};
-use serde::Serialize;
 use std::time::{Duration, Instant};
 use veloct::instruction_patterns;
 
@@ -46,7 +45,12 @@ pub fn all_targets() -> Vec<Target> {
         design: rocket_lite(16),
         paper: (10_358, 145),
     }];
-    let paper = [(48_465u64, 1609usize), (74_072, 2560), (100_009, 4002), (133_417, 4640)];
+    let paper = [
+        (48_465u64, 1609usize),
+        (74_072, 2560),
+        (100_009, 4002),
+        (133_417, 4640),
+    ];
     for (i, &variant) in ALL_VARIANTS.iter().enumerate() {
         v.push(Target {
             name: match variant {
@@ -106,7 +110,12 @@ pub fn prepare(
     design: &Design,
     safe: &[Mnemonic],
     mask: bool,
-) -> (Miter, Vec<hh_netlist::eval::StateValues>, Vec<Predicate>, Vec<hh_smt::Pattern>) {
+) -> (
+    Miter,
+    Vec<hh_netlist::eval::StateValues>,
+    Vec<Predicate>,
+    Vec<hh_smt::Pattern>,
+) {
     prepare_rds(design, safe, mask, &[3, 5, 6, 7, 1, 2, 4])
 }
 
@@ -116,7 +125,12 @@ pub fn prepare_rds(
     safe: &[Mnemonic],
     mask: bool,
     rds: &[u8],
-) -> (Miter, Vec<hh_netlist::eval::StateValues>, Vec<Predicate>, Vec<hh_smt::Pattern>) {
+) -> (
+    Miter,
+    Vec<hh_netlist::eval::StateValues>,
+    Vec<Predicate>,
+    Vec<hh_smt::Pattern>,
+) {
     let mut miter = Miter::build(&design.netlist);
     let patterns = instruction_patterns(safe);
     let instr = miter.netlist().find_input(&design.instr_input).unwrap();
@@ -201,7 +215,7 @@ pub fn learn_run_serial_rds(
 
 /// One machine-readable experiment row (accumulated into a JSON report so
 /// EXPERIMENTS.md can cite exact numbers).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Row {
     /// Experiment id (e.g. "table1", "fig3").
     pub experiment: String,
@@ -243,14 +257,60 @@ impl Report {
     pub fn finish(&self, name: &str) {
         let _ = std::fs::create_dir_all("bench_results");
         let path = format!("bench_results/{name}.json");
-        match serde_json::to_string_pretty(&self.rows) {
-            Ok(json) => {
-                if std::fs::write(&path, json).is_ok() {
-                    println!("\n[results written to {path}]");
-                }
-            }
-            Err(e) => eprintln!("could not serialise results: {e}"),
+        if std::fs::write(&path, self.to_json()).is_ok() {
+            println!("\n[results written to {path}]");
         }
+    }
+
+    /// Serialises the rows as pretty-printed JSON (hand-rolled: the build
+    /// environment has no serde, and the row shape is trivially flat).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\n    \"experiment\": {},\n    \"target\": {},\n    \"key\": {},\n    \
+                 \"value\": {},\n    \"unit\": {}\n  }}",
+                json_str(&row.experiment),
+                json_str(&row.target),
+                json_str(&row.key),
+                json_f64(row.value),
+                json_str(&row.unit),
+            ));
+        }
+        out.push_str("\n]");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare `NaN`/`inf` never reach here; ensure integral floats keep a
+        // numeric JSON form (e.g. `3` not `3.0` is fine for JSON).
+        s
+    } else {
+        "null".to_string()
     }
 }
 

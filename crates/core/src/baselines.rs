@@ -132,11 +132,7 @@ pub fn sorcar(
     let mut set: Vec<Predicate> = property.to_vec();
     set.sort();
     set.dedup();
-    let mut remaining: Vec<Predicate> = pool
-        .iter()
-        .filter(|p| !set.contains(p))
-        .cloned()
-        .collect();
+    let mut remaining: Vec<Predicate> = pool.iter().filter(|p| !set.contains(p)).cloned().collect();
 
     loop {
         if stats.rounds >= budget.max_rounds || t0.elapsed() > budget.max_time {

@@ -20,12 +20,39 @@
 //! abduct later intersects `P_fail` (§3.2.2).
 
 use crate::mine::Miner;
-use crate::store::{PredicateStore, PredId};
+use crate::store::{PredId, PredicateStore};
 use crate::{Invariant, Stats, TaskRecord};
 use hh_netlist::Netlist;
-use hh_smt::{abduct, AbductionConfig, Predicate};
+use hh_smt::{abduct, AbductionConfig, AbductionResult, AbductionSession, Predicate};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
+
+/// Per-target cache of live abduction sessions, owned by an engine and (in
+/// the parallel engine) handed to workers with the job and returned with
+/// the result. Dropping an entry frees its solver.
+pub(crate) type SessionCache<'a> = HashMap<PredId, AbductionSession<'a>>;
+
+/// Runs one abduction query for `pred`, through its cached session when
+/// `sessions` is enabled (creating it on first use) and through the fresh
+/// per-query path otherwise.
+pub(crate) fn abduct_via_cache<'a>(
+    cache: &mut SessionCache<'a>,
+    use_sessions: bool,
+    netlist: &'a Netlist,
+    pred: PredId,
+    target: &Predicate,
+    cands: &[Predicate],
+    config: &AbductionConfig,
+) -> AbductionResult {
+    if use_sessions {
+        let session = cache
+            .entry(pred)
+            .or_insert_with(|| AbductionSession::new(netlist, target.clone(), config.clone()));
+        session.solve(cands)
+    } else {
+        abduct(netlist, target, cands, config)
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -35,6 +62,11 @@ pub struct EngineConfig {
     /// Memoisation across tasks (ablation knob; the paper's algorithm
     /// requires it for efficiency, not for soundness).
     pub memoize: bool,
+    /// Keep one live [`AbductionSession`] per target so retries (after
+    /// `P_fail` grows or a stale solution is swept) re-solve incrementally
+    /// instead of re-blasting the cone (§3.2.4). Ablation knob: `false`
+    /// reproduces the fresh-encoding-per-query behaviour.
+    pub sessions: bool,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +74,7 @@ impl Default for EngineConfig {
         EngineConfig {
             abduction: AbductionConfig::paper_default(),
             memoize: true,
+            sessions: true,
         }
     }
 }
@@ -58,6 +91,8 @@ pub struct SerialEngine<'a, M: Miner> {
     /// `P_fail`: predicates proven to have no solution.
     failed: HashSet<PredId>,
     in_progress: Vec<PredId>,
+    /// Live abduction sessions, keyed by target (§3.2.4).
+    sessions: SessionCache<'a>,
     stats: Stats,
 }
 
@@ -72,6 +107,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             memo: HashMap::new(),
             failed: HashSet::new(),
             in_progress: Vec::new(),
+            sessions: SessionCache::new(),
             stats: Stats::default(),
         }
     }
@@ -126,6 +162,8 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             }
         };
         self.stats.wall_time = t0.elapsed();
+        // Sessions only pay off within one learning run; free the solvers.
+        self.sessions.clear();
         result
     }
 
@@ -190,11 +228,20 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             cand_ids.retain(|q| !self.failed.contains(q));
             let cands = self.store.resolve(&cand_ids);
 
-            // Line 12: O_abduct.
+            // Line 12: O_abduct, incremental when sessions are on.
             let q0 = Instant::now();
-            let res = abduct(self.netlist, &target, &cands, &self.config.abduction);
+            let res = abduct_via_cache(
+                &mut self.sessions,
+                self.config.sessions,
+                self.netlist,
+                p,
+                &target,
+                &cands,
+                &self.config.abduction,
+            );
             let qd = q0.elapsed();
             self.stats.record_query(qd);
+            self.stats.record_abduction(&res.telemetry);
             self.stats.tasks[task_idx].smt_time += qd;
             self.stats.tasks[task_idx].queries += 1;
             if !first_attempt {
@@ -282,7 +329,9 @@ mod tests {
         let mut eng = SerialEngine::new(m.netlist(), miner, EngineConfig::default());
         let a = base.find_state("A").unwrap();
         let prop = Predicate::eq(m.left(a), m.right(a));
-        let inv = eng.learn(std::slice::from_ref(&prop)).expect("invariant exists");
+        let inv = eng
+            .learn(std::slice::from_ref(&prop))
+            .expect("invariant exists");
         // Eq(A), Eq(B), Eq(C) (possibly with EqConst variants).
         assert!(inv.contains(&prop));
         assert!(inv.len() >= 3);
@@ -420,7 +469,11 @@ mod tests {
         assert!(inv.contains(&Predicate::eq(m.left(upb), m.right(upb))));
         // `up` is in the cone of both l and r; the second visit must be a
         // memo hit rather than a new task.
-        assert!(eng.stats().memo_hits >= 1, "hits: {}", eng.stats().memo_hits);
+        assert!(
+            eng.stats().memo_hits >= 1,
+            "hits: {}",
+            eng.stats().memo_hits
+        );
         assert_eq!(eng.stats().num_tasks(), 4); // t, l, r, up — up only once
     }
 }

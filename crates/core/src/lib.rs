@@ -64,4 +64,4 @@ pub use engine::{EngineConfig, SerialEngine};
 pub use invariant::Invariant;
 pub use parallel::ParallelEngine;
 pub use stats::{Stats, TaskRecord};
-pub use store::{PredicateStore, PredId};
+pub use store::{PredId, PredicateStore};

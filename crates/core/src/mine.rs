@@ -16,7 +16,7 @@
 //! Per-variable facts are precomputed once over the example set, so each of
 //! the thousands of mining calls is a cheap table lookup.
 
-use crate::store::{PredicateStore, PredId};
+use crate::store::{PredId, PredicateStore};
 use hh_netlist::coi::Coi;
 use hh_netlist::eval::StateValues;
 use hh_netlist::miter::Miter;
@@ -358,7 +358,10 @@ mod tests {
         let cands = miner.mine(&target, &mut store);
         // COI of a is {b}: Eq(b) and EqConst(b,2).
         let preds = store.resolve(&cands);
-        assert!(preds.contains(&Predicate::eq(m.left(base.find_state("b").unwrap()), m.right(base.find_state("b").unwrap()))));
+        assert!(preds.contains(&Predicate::eq(
+            m.left(base.find_state("b").unwrap()),
+            m.right(base.find_state("b").unwrap())
+        )));
         assert_eq!(preds.len(), 2);
     }
 

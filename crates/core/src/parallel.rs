@@ -1,22 +1,35 @@
-//! The parallel wavefront engine (paper §3.2.4).
+//! The parallel streaming engine (paper §3.2.4).
 //!
 //! The recursion of Algorithm 1 is a task DAG: each target predicate's
-//! abduction is independent of its siblings'. This engine runs the DAG as a
-//! breadth-first *wavefront*: each round mines the current frontier (cheap
-//! table lookups, serial), then fires all abduction queries of the round in
-//! parallel across worker threads, then merges results, discovers children,
-//! and sweeps stale solutions caused by failures (partial backtracking).
+//! abduction is independent of its siblings'. This engine runs the DAG on a
+//! **persistent worker pool with streaming results** (the paper's
+//! async-task model): the scheduler mines jobs and pushes them to a shared
+//! queue; as each abduction completes, the merge loop immediately mines and
+//! enqueues its newly discovered children — fast tasks never wait on a
+//! wave's straggler, and workers stay busy as long as any job is queued.
 //!
-//! The memo table and `P_fail` are shared across rounds exactly as in the
-//! serial engine, so overlapping cones are still analysed once.
+//! **Determinism.** Results are *committed* in job-issue order through a
+//! reorder buffer. Every scheduling decision (which predicates to mine,
+//! which candidates `P_fail` filters, task numbering) is therefore a pure
+//! function of commit history, which makes the learned invariant and the
+//! task DAG identical run-to-run and across thread counts — only the
+//! measured durations vary. Out-of-order completions are buffered (cheap:
+//! commits are table updates), so the barrier of the old wavefront design
+//! is gone from the *solving* path.
+//!
+//! The memo table and `P_fail` are shared across the run exactly as in the
+//! serial engine, so overlapping cones are still analysed once. Each target
+//! keeps a live [`AbductionSession`] (travelling with the job and returned
+//! with the result), so backtracking retries re-solve incrementally.
 
+use crate::engine::SessionCache;
 use crate::mine::Miner;
-use crate::store::{PredicateStore, PredId};
+use crate::store::{PredId, PredicateStore};
 use crate::{EngineConfig, Invariant, Stats, TaskRecord};
 use hh_netlist::Netlist;
-use hh_smt::{abduct, AbductionResult, Predicate};
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use hh_smt::{AbductionResult, AbductionSession, Predicate};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -32,22 +45,34 @@ pub struct ParallelEngine<'a, M: Miner> {
     failed: HashSet<PredId>,
     /// Task index that first discovered each predicate (for the task DAG).
     discoverer: HashMap<PredId, Option<usize>>,
+    /// Live abduction sessions, keyed by target. Sessions travel to the
+    /// worker with the job and come back with the result.
+    sessions: SessionCache<'a>,
     stats: Stats,
 }
 
-struct Job {
-    pred: PredId,
+/// What a worker needs to run one abduction query.
+struct Job<'a> {
+    job_idx: usize,
     target: Predicate,
-    cand_ids: Vec<PredId>,
     cands: Vec<Predicate>,
-    parent: Option<usize>,
-    retry: bool,
+    /// The target's live session (None with sessions disabled).
+    session: Option<AbductionSession<'a>>,
 }
 
-struct JobResult {
+/// Scheduler-side bookkeeping for an issued job, indexed by `job_idx`.
+struct JobMeta {
+    pred: PredId,
+    cand_ids: Vec<PredId>,
+    parent: Option<usize>,
+}
+
+/// A completed query travelling back to the merge loop.
+struct JobDone<'a> {
     job_idx: usize,
     result: AbductionResult,
     duration: Duration,
+    session: Option<AbductionSession<'a>>,
 }
 
 impl<'a, M: Miner> ParallelEngine<'a, M> {
@@ -68,6 +93,7 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             memo: HashMap::new(),
             failed: HashSet::new(),
             discoverer: HashMap::new(),
+            sessions: SessionCache::new(),
             stats: Stats::default(),
         }
     }
@@ -78,6 +104,11 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
     }
 
     /// Learns an inductive invariant proving `properties`, or `None`.
+    ///
+    /// Runs a persistent worker pool for the whole call. The scheduler
+    /// (this thread) mines candidate sets, issues jobs, and commits results
+    /// in issue order; workers stream completed abductions back as they
+    /// finish. See the module docs for the determinism argument.
     pub fn learn(&mut self, properties: &[Predicate]) -> Option<Invariant> {
         let t0 = Instant::now();
         let prop_ids: Vec<PredId> = properties
@@ -87,126 +118,174 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
         for &p in &prop_ids {
             self.discoverer.entry(p).or_insert(None);
         }
-        let mut frontier: Vec<PredId> = prop_ids.clone();
 
-        let result = loop {
-            // Select unsolved, unfailed targets.
-            frontier.sort_unstable();
-            frontier.dedup();
-            let todo: Vec<PredId> = frontier
-                .drain(..)
-                .filter(|p| !self.failed.contains(p) && !self.memo.contains_key(p))
-                .collect();
-
-            if todo.is_empty() {
-                // Quiescent: sweep stale solutions (backtracking), then
-                // either finish or run another wave.
-                if prop_ids.iter().any(|p| self.failed.contains(p)) {
-                    break None;
-                }
-                let stale: Vec<PredId> = self
-                    .memo
-                    .iter()
-                    .filter(|(_, ab)| ab.iter().any(|q| self.failed.contains(q)))
-                    .map(|(&p, _)| p)
-                    .collect();
-                if stale.is_empty() {
-                    break Some(self.assemble(&prop_ids));
-                }
-                self.stats.backtracks += stale.len();
-                for s in stale {
-                    self.memo.remove(&s);
-                    frontier.push(s);
-                }
-                continue;
-            }
-
-            // Mine serially (cheap), building the round's job list.
-            let mut jobs: Vec<Job> = Vec::with_capacity(todo.len());
-            for p in todo {
-                let target = self.store.get(p).clone();
-                let mut cand_ids = self.miner.mine(&target, &mut self.store);
-                cand_ids.sort_unstable();
-                cand_ids.dedup();
-                cand_ids.retain(|q| !self.failed.contains(q));
-                let cands = self.store.resolve(&cand_ids);
-                let parent = self.discoverer.get(&p).copied().flatten();
-                jobs.push(Job {
-                    pred: p,
-                    target,
-                    cand_ids,
-                    cands,
-                    parent,
-                    retry: false,
-                });
-            }
-
-            // Fire the wave: all abduction queries in parallel.
-            let results = self.run_wave(&jobs);
-
-            // Merge.
-            for r in results {
-                let job = &jobs[r.job_idx];
-                self.stats.record_query(r.duration);
-                let task_idx = self.stats.tasks.len();
-                self.stats.tasks.push(TaskRecord {
-                    pred: job.pred,
-                    parent: job.parent,
-                    duration: r.duration,
-                    smt_time: r.duration,
-                    queries: 1,
-                });
-                self.stats.task_time += r.duration;
-                if job.retry {
-                    self.stats.backtracks += 1;
-                }
-                match r.result.abduct {
-                    None => {
-                        self.failed.insert(job.pred);
-                    }
-                    Some(idxs) => {
-                        let ab: Vec<PredId> =
-                            idxs.into_iter().map(|i| job.cand_ids[i]).collect();
-                        for &q in &ab {
-                            self.discoverer.entry(q).or_insert(Some(task_idx));
-                            frontier.push(q);
-                        }
-                        self.memo.insert(job.pred, ab);
-                    }
-                }
-            }
-        };
-        self.stats.wall_time = t0.elapsed();
-        result
-    }
-
-    /// Runs one wave of abduction queries on the worker pool.
-    fn run_wave(&self, jobs: &[Job]) -> Vec<JobResult> {
         let netlist = self.netlist;
-        let config = &self.config.abduction;
-        let next = AtomicUsize::new(0);
-        let out: Mutex<Vec<JobResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
-        let workers = self.threads.min(jobs.len()).max(1);
-        std::thread::scope(|scope| {
+        let abd_cfg = self.config.abduction.clone();
+        let use_sessions = self.config.sessions;
+        let workers = self.threads.max(1);
+
+        let (job_tx, job_rx) = mpsc::channel::<Job<'a>>();
+        let job_rx = Mutex::new(job_rx);
+        let (done_tx, done_rx) = mpsc::channel::<JobDone<'a>>();
+
+        let result = std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
+                let done_tx = done_tx.clone();
+                let job_rx = &job_rx;
+                let abd_cfg = abd_cfg.clone();
+                scope.spawn(move || {
+                    loop {
+                        // Hold the lock only for the dequeue, not the solve.
+                        let job = job_rx.lock().unwrap().recv();
+                        let Ok(mut job) = job else { break };
+                        let q0 = Instant::now();
+                        let (result, session) = match job.session.take() {
+                            Some(mut s) => {
+                                let r = s.solve(&job.cands);
+                                (r, Some(s))
+                            }
+                            None => (
+                                hh_smt::abduct(netlist, &job.target, &job.cands, &abd_cfg),
+                                None,
+                            ),
+                        };
+                        let sent = done_tx.send(JobDone {
+                            job_idx: job.job_idx,
+                            result,
+                            duration: q0.elapsed(),
+                            session,
+                        });
+                        if sent.is_err() {
+                            break; // scheduler gone
+                        }
                     }
-                    let job = &jobs[i];
-                    let q0 = Instant::now();
-                    let result = abduct(netlist, &job.target, &job.cands, config);
-                    let duration = q0.elapsed();
-                    out.lock().unwrap().push(JobResult {
-                        job_idx: i,
-                        result,
-                        duration,
-                    });
                 });
             }
+            drop(done_tx); // scheduler keeps only done_rx
+
+            // Scheduler state. `queue` holds predicates to (re-)issue, in
+            // deterministic discovery order; `reorder` buffers out-of-order
+            // completions until their turn to commit.
+            let mut queue: VecDeque<PredId> = prop_ids.iter().copied().collect();
+            let mut metas: Vec<JobMeta> = Vec::new();
+            let mut reorder: BTreeMap<usize, JobDone<'a>> = BTreeMap::new();
+            let mut next_commit = 0usize;
+            let mut inflight: HashSet<PredId> = HashSet::new();
+
+            let outcome = loop {
+                // Issue phase: drain the queue, skipping targets that
+                // resolved (or got scheduled) since they were enqueued.
+                while let Some(p) = queue.pop_front() {
+                    if self.failed.contains(&p)
+                        || self.memo.contains_key(&p)
+                        || inflight.contains(&p)
+                    {
+                        continue;
+                    }
+                    let target = self.store.get(p).clone();
+                    let mut cand_ids = self.miner.mine(&target, &mut self.store);
+                    cand_ids.sort_unstable();
+                    cand_ids.dedup();
+                    cand_ids.retain(|q| !self.failed.contains(q));
+                    let cands = self.store.resolve(&cand_ids);
+                    let parent = self.discoverer.get(&p).copied().flatten();
+                    let job_idx = metas.len();
+                    metas.push(JobMeta {
+                        pred: p,
+                        cand_ids,
+                        parent,
+                    });
+                    let session = if use_sessions {
+                        Some(self.sessions.remove(&p).unwrap_or_else(|| {
+                            AbductionSession::new(netlist, target.clone(), abd_cfg.clone())
+                        }))
+                    } else {
+                        None
+                    };
+                    inflight.insert(p);
+                    job_tx
+                        .send(Job {
+                            job_idx,
+                            target,
+                            cands,
+                            session,
+                        })
+                        .expect("worker pool alive");
+                }
+
+                // Quiescence: nothing queued, nothing in flight. Sweep
+                // stale solutions (partial backtracking) or finish.
+                if next_commit == metas.len() {
+                    if prop_ids.iter().any(|p| self.failed.contains(p)) {
+                        break None;
+                    }
+                    let mut stale: Vec<PredId> = self
+                        .memo
+                        .iter()
+                        .filter(|(_, ab)| ab.iter().any(|q| self.failed.contains(q)))
+                        .map(|(&p, _)| p)
+                        .collect();
+                    if stale.is_empty() {
+                        break Some(self.assemble(&prop_ids));
+                    }
+                    stale.sort_unstable(); // deterministic re-issue order
+                    self.stats.backtracks += stale.len();
+                    for s in stale {
+                        self.memo.remove(&s);
+                        queue.push_back(s);
+                    }
+                    continue;
+                }
+
+                // Stream phase: block for the next completion, then commit
+                // every contiguous result in issue order. Children mined
+                // from commits land in `queue` and are issued on the next
+                // loop iteration — while other jobs are still solving.
+                while !reorder.contains_key(&next_commit) {
+                    let done = done_rx.recv().expect("worker result");
+                    reorder.insert(done.job_idx, done);
+                }
+                while let Some(done) = reorder.remove(&next_commit) {
+                    let meta = &metas[next_commit];
+                    self.stats.record_query(done.duration);
+                    self.stats.record_abduction(&done.result.telemetry);
+                    let task_idx = self.stats.tasks.len();
+                    self.stats.tasks.push(TaskRecord {
+                        pred: meta.pred,
+                        parent: meta.parent,
+                        duration: done.duration,
+                        smt_time: done.duration,
+                        queries: 1,
+                    });
+                    self.stats.task_time += done.duration;
+                    match done.result.abduct {
+                        None => {
+                            self.failed.insert(meta.pred);
+                        }
+                        Some(idxs) => {
+                            let ab: Vec<PredId> =
+                                idxs.into_iter().map(|i| meta.cand_ids[i]).collect();
+                            for &q in &ab {
+                                self.discoverer.entry(q).or_insert(Some(task_idx));
+                                queue.push_back(q);
+                            }
+                            self.memo.insert(meta.pred, ab);
+                        }
+                    }
+                    inflight.remove(&meta.pred);
+                    if let Some(s) = done.session {
+                        self.sessions.insert(meta.pred, s);
+                    }
+                    next_commit += 1;
+                }
+            };
+            drop(job_tx); // closes the queue; workers exit before scope joins
+            outcome
         });
-        out.into_inner().unwrap()
+        self.stats.wall_time = t0.elapsed();
+        // Sessions only pay off within one learning run; free the solvers.
+        self.sessions.clear();
+        result
     }
 
     fn assemble(&self, props: &[PredId]) -> Invariant {

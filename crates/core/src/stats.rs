@@ -50,6 +50,20 @@ pub struct Stats {
     pub task_time: Duration,
     /// End-to-end wall-clock of the learning call.
     pub wall_time: Duration,
+    /// Abduction queries answered on a reused [`hh_smt::AbductionSession`]
+    /// encoding (retries that skipped re-blasting the cone).
+    pub session_hits: usize,
+    /// Abduction queries that had to build a fresh encoding (first query of
+    /// each session, or every query with sessions disabled).
+    pub session_misses: usize,
+    /// SAT variables session reuse avoided re-allocating (summed over hits).
+    pub vars_saved: usize,
+    /// Clauses session reuse avoided re-allocating (summed over hits).
+    pub clauses_saved: usize,
+    /// Total time spent bit-blasting / registering candidates.
+    pub encode_time: Duration,
+    /// Total time spent inside SAT solving (including minimisation probes).
+    pub solve_time: Duration,
 }
 
 impl Stats {
@@ -144,6 +158,29 @@ impl Stats {
         self.smt_time += d;
         self.query_durations.push(d);
     }
+
+    /// Folds one abduction query's telemetry into the session counters.
+    pub(crate) fn record_abduction(&mut self, t: &hh_smt::QueryTelemetry) {
+        if t.cached {
+            self.session_hits += 1;
+            self.vars_saved += t.vars_reused;
+            self.clauses_saved += t.clauses_reused;
+        } else {
+            self.session_misses += 1;
+        }
+        self.encode_time += t.encode_time;
+        self.solve_time += t.solve_time;
+    }
+
+    /// Fraction of abduction queries served by a live session (0 when no
+    /// queries ran).
+    pub fn session_hit_rate(&self) -> f64 {
+        let total = self.session_hits + self.session_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.session_hits as f64 / total as f64
+    }
 }
 
 fn median(d: &mut [Duration]) -> Duration {
@@ -171,7 +208,11 @@ mod tests {
     /// Root (10ms) discovering two children (20ms, 30ms).
     fn tree() -> Stats {
         Stats {
-            tasks: vec![task(0, None, 10), task(1, Some(0), 20), task(2, Some(0), 30)],
+            tasks: vec![
+                task(0, None, 10),
+                task(1, Some(0), 20),
+                task(2, Some(0), 30),
+            ],
             ..Stats::default()
         }
     }
@@ -194,7 +235,11 @@ mod tests {
     #[test]
     fn chains_do_not_parallelise() {
         let s = Stats {
-            tasks: vec![task(0, None, 10), task(1, Some(0), 10), task(2, Some(1), 10)],
+            tasks: vec![
+                task(0, None, 10),
+                task(1, Some(0), 10),
+                task(2, Some(1), 10),
+            ],
             ..Stats::default()
         };
         assert_eq!(s.span(), Duration::from_millis(30));

@@ -31,29 +31,75 @@ use std::fmt;
 #[allow(missing_docs)]
 pub enum Mnemonic {
     // RV32I register-register ALU.
-    Add, Sub, Xor, Or, And, Sll, Srl, Sra, Slt, Sltu,
+    Add,
+    Sub,
+    Xor,
+    Or,
+    And,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
     // RV32I register-immediate ALU.
-    Addi, Xori, Ori, Andi, Slli, Srli, Srai, Slti, Sltiu,
+    Addi,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    Sltiu,
     // Upper-immediate.
-    Lui, Auipc,
+    Lui,
+    Auipc,
     // M extension.
-    Mul, Mulh, Mulhsu, Mulhu,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
     // Memory.
-    Lw, Sw,
+    Lw,
+    Sw,
     // Control flow.
-    Beq, Bne, Jal,
+    Beq,
+    Bne,
+    Jal,
 }
 
 /// All implemented mnemonics, in canonical order.
 pub const ALL_MNEMONICS: &[Mnemonic] = &[
-    Mnemonic::Add, Mnemonic::Sub, Mnemonic::Xor, Mnemonic::Or, Mnemonic::And,
-    Mnemonic::Sll, Mnemonic::Srl, Mnemonic::Sra, Mnemonic::Slt, Mnemonic::Sltu,
-    Mnemonic::Addi, Mnemonic::Xori, Mnemonic::Ori, Mnemonic::Andi,
-    Mnemonic::Slli, Mnemonic::Srli, Mnemonic::Srai, Mnemonic::Slti, Mnemonic::Sltiu,
-    Mnemonic::Lui, Mnemonic::Auipc,
-    Mnemonic::Mul, Mnemonic::Mulh, Mnemonic::Mulhsu, Mnemonic::Mulhu,
-    Mnemonic::Lw, Mnemonic::Sw,
-    Mnemonic::Beq, Mnemonic::Bne, Mnemonic::Jal,
+    Mnemonic::Add,
+    Mnemonic::Sub,
+    Mnemonic::Xor,
+    Mnemonic::Or,
+    Mnemonic::And,
+    Mnemonic::Sll,
+    Mnemonic::Srl,
+    Mnemonic::Sra,
+    Mnemonic::Slt,
+    Mnemonic::Sltu,
+    Mnemonic::Addi,
+    Mnemonic::Xori,
+    Mnemonic::Ori,
+    Mnemonic::Andi,
+    Mnemonic::Slli,
+    Mnemonic::Srli,
+    Mnemonic::Srai,
+    Mnemonic::Slti,
+    Mnemonic::Sltiu,
+    Mnemonic::Lui,
+    Mnemonic::Auipc,
+    Mnemonic::Mul,
+    Mnemonic::Mulh,
+    Mnemonic::Mulhsu,
+    Mnemonic::Mulhu,
+    Mnemonic::Lw,
+    Mnemonic::Sw,
+    Mnemonic::Beq,
+    Mnemonic::Bne,
+    Mnemonic::Jal,
 ];
 
 /// Instruction format classes.
@@ -179,14 +225,36 @@ impl Mnemonic {
     pub fn name(self) -> &'static str {
         use Mnemonic::*;
         match self {
-            Add => "add", Sub => "sub", Xor => "xor", Or => "or", And => "and",
-            Sll => "sll", Srl => "srl", Sra => "sra", Slt => "slt", Sltu => "sltu",
-            Addi => "addi", Xori => "xori", Ori => "ori", Andi => "andi",
-            Slli => "slli", Srli => "srli", Srai => "srai", Slti => "slti", Sltiu => "sltui",
-            Lui => "lui", Auipc => "auipc",
-            Mul => "mul", Mulh => "mulh", Mulhsu => "mulhsu", Mulhu => "mulhu",
-            Lw => "lw", Sw => "sw",
-            Beq => "beq", Bne => "bne", Jal => "jal",
+            Add => "add",
+            Sub => "sub",
+            Xor => "xor",
+            Or => "or",
+            And => "and",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Xori => "xori",
+            Ori => "ori",
+            Andi => "andi",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Sltiu => "sltui",
+            Lui => "lui",
+            Auipc => "auipc",
+            Mul => "mul",
+            Mulh => "mulh",
+            Mulhsu => "mulhsu",
+            Mulhu => "mulhu",
+            Lw => "lw",
+            Sw => "sw",
+            Beq => "beq",
+            Bne => "bne",
+            Jal => "jal",
         }
     }
 
@@ -250,37 +318,73 @@ impl Instruction {
     /// Builds an R-type instruction.
     pub fn rtype(mnemonic: Mnemonic, rd: u8, rs1: u8, rs2: u8) -> Instruction {
         assert_eq!(mnemonic.format(), Format::R, "{mnemonic} is not R-type");
-        Instruction { mnemonic, rd, rs1, rs2, imm: 0 }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
     }
 
     /// Builds an I-type instruction.
     pub fn itype(mnemonic: Mnemonic, rd: u8, rs1: u8, imm: i32) -> Instruction {
         assert_eq!(mnemonic.format(), Format::I, "{mnemonic} is not I-type");
-        Instruction { mnemonic, rd, rs1, rs2: 0, imm }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1,
+            rs2: 0,
+            imm,
+        }
     }
 
     /// Builds a U-type instruction (imm is the raw upper-20 value).
     pub fn utype(mnemonic: Mnemonic, rd: u8, imm: i32) -> Instruction {
         assert_eq!(mnemonic.format(), Format::U, "{mnemonic} is not U-type");
-        Instruction { mnemonic, rd, rs1: 0, rs2: 0, imm }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1: 0,
+            rs2: 0,
+            imm,
+        }
     }
 
     /// Builds an S-type (store) instruction.
     pub fn stype(mnemonic: Mnemonic, rs1: u8, rs2: u8, imm: i32) -> Instruction {
         assert_eq!(mnemonic.format(), Format::S, "{mnemonic} is not S-type");
-        Instruction { mnemonic, rd: 0, rs1, rs2, imm }
+        Instruction {
+            mnemonic,
+            rd: 0,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// Builds a B-type (branch) instruction.
     pub fn btype(mnemonic: Mnemonic, rs1: u8, rs2: u8, imm: i32) -> Instruction {
         assert_eq!(mnemonic.format(), Format::B, "{mnemonic} is not B-type");
-        Instruction { mnemonic, rd: 0, rs1, rs2, imm }
+        Instruction {
+            mnemonic,
+            rd: 0,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// Builds a J-type (jump) instruction.
     pub fn jtype(mnemonic: Mnemonic, rd: u8, imm: i32) -> Instruction {
         assert_eq!(mnemonic.format(), Format::J, "{mnemonic} is not J-type");
-        Instruction { mnemonic, rd, rs1: 0, rs2: 0, imm }
+        Instruction {
+            mnemonic,
+            rd,
+            rs1: 0,
+            rs2: 0,
+            imm,
+        }
     }
 
     /// The canonical NOP: `addi x0, x0, 0`.
@@ -299,7 +403,10 @@ impl Instruction {
         let rd = (self.rd as u32) & 0x1f;
         let rs1 = (self.rs1 as u32) & 0x1f;
         let rs2 = (self.rs2 as u32) & 0x1f;
-        assert!(self.rd < 32 && self.rs1 < 32 && self.rs2 < 32, "register out of range");
+        assert!(
+            self.rd < 32 && self.rs1 < 32 && self.rs2 < 32,
+            "register out of range"
+        );
         let base = m.opcode() | (m.funct3() << 12);
         match m.format() {
             Format::R => base | (rd << 7) | (rs1 << 15) | (rs2 << 20) | (m.funct7() << 25),
@@ -388,7 +495,11 @@ impl Instruction {
         };
         Some(Instruction {
             mnemonic,
-            rd: if matches!(mnemonic.format(), Format::S | Format::B) { 0 } else { rd },
+            rd: if matches!(mnemonic.format(), Format::S | Format::B) {
+                0
+            } else {
+                rd
+            },
             rs1: if mnemonic.uses_rs1() { rs1 } else { 0 },
             rs2: if mnemonic.uses_rs2() { rs2 } else { 0 },
             imm,
@@ -399,11 +510,27 @@ impl Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.mnemonic.format() {
-            Format::R => write!(f, "{} x{}, x{}, x{}", self.mnemonic, self.rd, self.rs1, self.rs2),
-            Format::I => write!(f, "{} x{}, x{}, {}", self.mnemonic, self.rd, self.rs1, self.imm),
+            Format::R => write!(
+                f,
+                "{} x{}, x{}, x{}",
+                self.mnemonic, self.rd, self.rs1, self.rs2
+            ),
+            Format::I => write!(
+                f,
+                "{} x{}, x{}, {}",
+                self.mnemonic, self.rd, self.rs1, self.imm
+            ),
             Format::U => write!(f, "{} x{}, {:#x}", self.mnemonic, self.rd, self.imm),
-            Format::S => write!(f, "{} x{}, {}(x{})", self.mnemonic, self.rs2, self.imm, self.rs1),
-            Format::B => write!(f, "{} x{}, x{}, {}", self.mnemonic, self.rs1, self.rs2, self.imm),
+            Format::S => write!(
+                f,
+                "{} x{}, {}(x{})",
+                self.mnemonic, self.rs2, self.imm, self.rs1
+            ),
+            Format::B => write!(
+                f,
+                "{} x{}, x{}, {}",
+                self.mnemonic, self.rs1, self.rs2, self.imm
+            ),
             Format::J => write!(f, "{} x{}, {}", self.mnemonic, self.rd, self.imm),
         }
     }
@@ -416,12 +543,27 @@ mod tests {
     #[test]
     fn known_encodings() {
         // Cross-checked against the RISC-V spec.
-        assert_eq!(Instruction::rtype(Mnemonic::Add, 3, 1, 2).encode(), 0x0020_81b3);
-        assert_eq!(Instruction::rtype(Mnemonic::Sub, 3, 1, 2).encode(), 0x4020_81b3);
-        assert_eq!(Instruction::itype(Mnemonic::Addi, 1, 0, 5).encode(), 0x0050_0093);
+        assert_eq!(
+            Instruction::rtype(Mnemonic::Add, 3, 1, 2).encode(),
+            0x0020_81b3
+        );
+        assert_eq!(
+            Instruction::rtype(Mnemonic::Sub, 3, 1, 2).encode(),
+            0x4020_81b3
+        );
+        assert_eq!(
+            Instruction::itype(Mnemonic::Addi, 1, 0, 5).encode(),
+            0x0050_0093
+        );
         assert_eq!(Instruction::nop().encode(), 0x0000_0013);
-        assert_eq!(Instruction::rtype(Mnemonic::Mul, 5, 6, 7).encode(), 0x0273_02b3);
-        assert_eq!(Instruction::utype(Mnemonic::Lui, 1, 0x12345).encode(), 0x1234_50b7);
+        assert_eq!(
+            Instruction::rtype(Mnemonic::Mul, 5, 6, 7).encode(),
+            0x0273_02b3
+        );
+        assert_eq!(
+            Instruction::utype(Mnemonic::Lui, 1, 0x12345).encode(),
+            0x1234_50b7
+        );
     }
 
     #[test]
@@ -499,8 +641,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instruction::rtype(Mnemonic::Add, 3, 1, 2).to_string(), "add x3, x1, x2");
-        assert_eq!(Instruction::stype(Mnemonic::Sw, 1, 2, 8).to_string(), "sw x2, 8(x1)");
+        assert_eq!(
+            Instruction::rtype(Mnemonic::Add, 3, 1, 2).to_string(),
+            "add x3, x1, x2"
+        );
+        assert_eq!(
+            Instruction::stype(Mnemonic::Sw, 1, 2, 8).to_string(),
+            "sw x2, 8(x1)"
+        );
     }
 
     #[test]

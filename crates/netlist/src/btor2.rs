@@ -25,7 +25,11 @@ pub struct Btor2Error {
 
 impl std::fmt::Display for Btor2Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "btor2 parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "btor2 parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -135,7 +139,10 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
                 let sid = *states
                     .get(&sref)
                     .ok_or_else(|| err(lineno, format!("init of non-state {sref}")))?;
-                let val = get_node(&nodes, toks.get(4).ok_or_else(|| err(lineno, "missing value"))?)?;
+                let val = get_node(
+                    &nodes,
+                    toks.get(4).ok_or_else(|| err(lineno, "missing value"))?,
+                )?;
                 match netlist.node(val).op {
                     NodeOp::Const(c) => netlist.set_init(sid, c),
                     _ => return Err(err(lineno, "init value must be a constant")),
@@ -149,7 +156,10 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
                 let sid = *states
                     .get(&sref)
                     .ok_or_else(|| err(lineno, format!("next of non-state {sref}")))?;
-                let val = get_node(&nodes, toks.get(4).ok_or_else(|| err(lineno, "missing value"))?)?;
+                let val = get_node(
+                    &nodes,
+                    toks.get(4).ok_or_else(|| err(lineno, "missing value"))?,
+                )?;
                 netlist.set_next(sid, val);
                 next_seen.insert(sref, true);
             }
@@ -175,11 +185,17 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
                 nodes.insert(id, netlist.constant(v));
             }
             "constraint" => {
-                let node = get_node(&nodes, toks.get(2).ok_or_else(|| err(lineno, "missing node"))?)?;
+                let node = get_node(
+                    &nodes,
+                    toks.get(2).ok_or_else(|| err(lineno, "missing node"))?,
+                )?;
                 netlist.add_constraint(node);
             }
             "output" | "bad" => {
-                let node = get_node(&nodes, toks.get(2).ok_or_else(|| err(lineno, "missing node"))?)?;
+                let node = get_node(
+                    &nodes,
+                    toks.get(2).ok_or_else(|| err(lineno, "missing node"))?,
+                )?;
                 let name = toks
                     .get(3)
                     .map(|s| s.to_string())
@@ -189,7 +205,10 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
             // Unary operators.
             "not" | "neg" | "redor" | "redand" | "redxor" => {
                 let _w = get_sort(toks.get(2).ok_or_else(|| err(lineno, "missing sort"))?)?;
-                let a = get_node(&nodes, toks.get(3).ok_or_else(|| err(lineno, "missing operand"))?)?;
+                let a = get_node(
+                    &nodes,
+                    toks.get(3).ok_or_else(|| err(lineno, "missing operand"))?,
+                )?;
                 let node = match kind {
                     "not" => netlist.not(a),
                     "neg" => netlist.neg(a),
@@ -202,7 +221,10 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
             // Extensions carry the pad amount.
             "uext" | "sext" => {
                 let w = get_sort(toks.get(2).ok_or_else(|| err(lineno, "missing sort"))?)?;
-                let a = get_node(&nodes, toks.get(3).ok_or_else(|| err(lineno, "missing operand"))?)?;
+                let a = get_node(
+                    &nodes,
+                    toks.get(3).ok_or_else(|| err(lineno, "missing operand"))?,
+                )?;
                 let node = if kind == "uext" {
                     netlist.uext(a, w)
                 } else {
@@ -212,7 +234,10 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
             }
             "slice" => {
                 let _w = get_sort(toks.get(2).ok_or_else(|| err(lineno, "missing sort"))?)?;
-                let a = get_node(&nodes, toks.get(3).ok_or_else(|| err(lineno, "missing operand"))?)?;
+                let a = get_node(
+                    &nodes,
+                    toks.get(3).ok_or_else(|| err(lineno, "missing operand"))?,
+                )?;
                 let hi: u32 = toks
                     .get(4)
                     .and_then(|t| t.parse().ok())
@@ -225,17 +250,32 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
             }
             "ite" => {
                 let _w = get_sort(toks.get(2).ok_or_else(|| err(lineno, "missing sort"))?)?;
-                let c = get_node(&nodes, toks.get(3).ok_or_else(|| err(lineno, "missing cond"))?)?;
-                let t = get_node(&nodes, toks.get(4).ok_or_else(|| err(lineno, "missing then"))?)?;
-                let e = get_node(&nodes, toks.get(5).ok_or_else(|| err(lineno, "missing else"))?)?;
+                let c = get_node(
+                    &nodes,
+                    toks.get(3).ok_or_else(|| err(lineno, "missing cond"))?,
+                )?;
+                let t = get_node(
+                    &nodes,
+                    toks.get(4).ok_or_else(|| err(lineno, "missing then"))?,
+                )?;
+                let e = get_node(
+                    &nodes,
+                    toks.get(5).ok_or_else(|| err(lineno, "missing else"))?,
+                )?;
                 nodes.insert(id, netlist.ite(c, t, e));
             }
             // Binary operators.
-            "and" | "or" | "xor" | "add" | "sub" | "mul" | "eq" | "neq" | "ult" | "slt"
-            | "sll" | "srl" | "sra" | "concat" => {
+            "and" | "or" | "xor" | "add" | "sub" | "mul" | "eq" | "neq" | "ult" | "slt" | "sll"
+            | "srl" | "sra" | "concat" => {
                 let _w = get_sort(toks.get(2).ok_or_else(|| err(lineno, "missing sort"))?)?;
-                let a = get_node(&nodes, toks.get(3).ok_or_else(|| err(lineno, "missing lhs"))?)?;
-                let b = get_node(&nodes, toks.get(4).ok_or_else(|| err(lineno, "missing rhs"))?)?;
+                let a = get_node(
+                    &nodes,
+                    toks.get(3).ok_or_else(|| err(lineno, "missing lhs"))?,
+                )?;
+                let b = get_node(
+                    &nodes,
+                    toks.get(4).ok_or_else(|| err(lineno, "missing rhs"))?,
+                )?;
                 let node = match kind {
                     "and" => netlist.and(a, b),
                     "or" => netlist.or(a, b),
@@ -254,7 +294,12 @@ pub fn parse_btor2(text: &str) -> Result<Netlist, Btor2Error> {
                 };
                 nodes.insert(id, node);
             }
-            other => return Err(err(lineno, format!("unsupported btor2 construct `{other}`"))),
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("unsupported btor2 construct `{other}`"),
+                ))
+            }
         }
     }
 
@@ -522,7 +567,15 @@ mod tests {
             n.lshr(a, b),
             n.ashr(a, b),
         ];
-        let red = [n.redor(a), n.redand(a), n.redxor(a), n.eq(a, b), n.ne(a, b), n.ult(a, b), n.slt(a, b)];
+        let red = [
+            n.redor(a),
+            n.redand(a),
+            n.redxor(a),
+            n.eq(a, b),
+            n.ne(a, b),
+            n.ult(a, b),
+            n.slt(a, b),
+        ];
         let mut acc = pieces[0];
         for &p in &pieces[1..] {
             acc = n.xor(acc, p);

@@ -91,7 +91,11 @@ impl Bv {
     /// Panics if `i >= width`.
     #[inline]
     pub fn get_bit(self, i: u32) -> bool {
-        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit {i} out of range for width {}",
+            self.width
+        );
         (self.bits >> i) & 1 == 1
     }
 
@@ -230,7 +234,11 @@ impl Bv {
     ///
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn slice(self, hi: u32, lo: u32) -> Bv {
-        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        assert!(
+            hi >= lo && hi < self.width,
+            "bad slice [{hi}:{lo}] of width {}",
+            self.width
+        );
         Bv::new(hi - lo + 1, self.bits >> lo)
     }
 

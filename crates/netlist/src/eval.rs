@@ -155,7 +155,12 @@ pub fn eval_all(netlist: &Netlist, states: &StateValues, inputs: &InputValues) -
 
 /// Evaluates a single node (by evaluating the full design; use
 /// [`eval_all`] when several nodes are needed).
-pub fn eval_node(netlist: &Netlist, node: NodeId, states: &StateValues, inputs: &InputValues) -> Bv {
+pub fn eval_node(
+    netlist: &Netlist,
+    node: NodeId,
+    states: &StateValues,
+    inputs: &InputValues,
+) -> Bv {
     eval_all(netlist, states, inputs)[node.index()]
 }
 

@@ -272,11 +272,7 @@ mod tests {
         let base = accumulator();
         let m = Miter::build(&base);
         let acc = base.find_state("acc").unwrap();
-        let mut s = with_initial_values(
-            &m,
-            |_| Some(Bv::new(8, 1)),
-            |_| Some(Bv::new(8, 2)),
-        );
+        let mut s = with_initial_values(&m, |_| Some(Bv::new(8, 1)), |_| Some(Bv::new(8, 2)));
         let inputs = InputValues::zeros(m.netlist());
         s = step(m.netlist(), &s, &inputs);
         assert_eq!(s.get(m.left(acc)), Bv::new(8, 1));

@@ -280,7 +280,11 @@ impl Netlist {
         let w = self.width(next);
         let info = &mut self.states[sid.index()];
         assert_eq!(info.width, w, "next width mismatch for state {}", info.name);
-        assert!(info.next.is_none(), "next already set for state {}", info.name);
+        assert!(
+            info.next.is_none(),
+            "next already set for state {}",
+            info.name
+        );
         info.next = Some(next);
     }
 
@@ -292,7 +296,12 @@ impl Netlist {
     /// Panics on width mismatch.
     pub fn set_init(&mut self, sid: StateId, init: Bv) {
         let info = &mut self.states[sid.index()];
-        assert_eq!(info.width, init.width(), "init width mismatch for {}", info.name);
+        assert_eq!(
+            info.width,
+            init.width(),
+            "init width mismatch for {}",
+            info.name
+        );
         info.init = init;
     }
 
@@ -338,10 +347,7 @@ impl Netlist {
 
     /// Looks up an input by name, returning its node.
     pub fn find_input(&self, name: &str) -> Option<NodeId> {
-        self.inputs
-            .iter()
-            .find(|i| i.name == name)
-            .map(|i| i.node)
+        self.inputs.iter().find(|i| i.name == name).map(|i| i.node)
     }
 
     /// Name of an input.
@@ -479,8 +485,17 @@ impl Netlist {
         self.unary(NodeOp::RedXor, a, 1)
     }
 
-    fn binary(&mut self, op: fn(NodeId, NodeId) -> NodeOp, a: NodeId, b: NodeId, width: u32) -> NodeId {
-        self.intern(Node { op: op(a, b), width })
+    fn binary(
+        &mut self,
+        op: fn(NodeId, NodeId) -> NodeOp,
+        a: NodeId,
+        b: NodeId,
+        width: u32,
+    ) -> NodeId {
+        self.intern(Node {
+            op: op(a, b),
+            width,
+        })
     }
 
     /// Bitwise AND. Panics on width mismatch.

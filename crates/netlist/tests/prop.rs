@@ -28,8 +28,14 @@ struct Recipe {
 
 fn arb_recipes() -> impl Strategy<Value = Vec<Recipe>> {
     proptest::collection::vec(
-        (0u8..9, any::<u8>(), any::<u8>(), any::<bool>())
-            .prop_map(|(op, a, b, use_input)| Recipe { op, a, b, use_input }),
+        (0u8..9, any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(op, a, b, use_input)| {
+            Recipe {
+                op,
+                a,
+                b,
+                use_input,
+            }
+        }),
         NREGS,
     )
 }

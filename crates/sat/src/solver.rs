@@ -271,8 +271,7 @@ impl Solver {
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
-        self.max_learnts =
-            (self.db.len() as f64) * self.config.learnt_size_factor + 1000.0;
+        self.max_learnts = (self.db.len() as f64) * self.config.learnt_size_factor + 1000.0;
         let mut restarts: u64 = 0;
         loop {
             let budget = luby(restarts) * self.config.restart_base;
@@ -678,14 +677,8 @@ impl Solver {
             let c = self.db.get(cref);
             (c.lits[0], c.lits[1])
         };
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
     // ------------------------------------------------------------------

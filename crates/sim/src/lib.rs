@@ -173,7 +173,10 @@ mod tests {
         let inputs = drive(&n, &[5, 5]);
         let t = simulate(&n, StateValues::initial(&n), &inputs);
         let wave = output_waveform(&n, &t, out);
-        assert_eq!(wave.iter().map(|v| v.bits()).collect::<Vec<_>>(), vec![0, 5]);
+        assert_eq!(
+            wave.iter().map(|v| v.bits()).collect::<Vec<_>>(),
+            vec![0, 5]
+        );
     }
 
     #[test]

@@ -254,7 +254,10 @@ impl<'a> TransitionEncoding<'a> {
 
     /// Approximate CNF size telemetry: `(variables, clauses)`.
     pub fn size(&self) -> (usize, usize) {
-        (self.cnf.solver().num_vars(), self.cnf.solver().num_clauses())
+        (
+            self.cnf.solver().num_vars(),
+            self.cnf.solver().num_clauses(),
+        )
     }
 }
 
@@ -307,7 +310,9 @@ mod tests {
                 assumptions.push(if (av >> i) & 1 == 1 { l } else { !l });
             }
             assert_eq!(
-                enc.cnf_mut().solver_mut().solve_with_assumptions(&assumptions),
+                enc.cnf_mut()
+                    .solver_mut()
+                    .solve_with_assumptions(&assumptions),
                 SolveResult::Sat
             );
 

@@ -155,7 +155,11 @@ impl Cnf {
             pb = !pb;
             flip = !flip;
         }
-        let key = if pa.code() <= pb.code() { (pa, pb) } else { (pb, pa) };
+        let key = if pa.code() <= pb.code() {
+            (pa, pb)
+        } else {
+            (pb, pa)
+        };
         let o = if let Some(&o) = self.xor_cache.get(&key) {
             o
         } else {
@@ -476,7 +480,10 @@ mod tests {
         let av = cnf.const_bits(w, a);
         let bv = cnf.const_bits(w, b);
         let out = op(&mut cnf, &av, &bv);
-        assert!(check_value(&mut cnf, &out, expect), "op({a},{b}) != {expect}");
+        assert!(
+            check_value(&mut cnf, &out, expect),
+            "op({a},{b}) != {expect}"
+        );
         // And that it *cannot* be anything else: flipping any output bit of
         // the expected value must be UNSAT.
         for i in 0..w as usize {
@@ -533,7 +540,8 @@ mod tests {
         let eq = cnf.veq(&a, &a);
         let neq = cnf.veq(&a, &b);
         assert_eq!(
-            cnf.solver_mut().solve_with_assumptions(&[ult, slt, eq, !neq]),
+            cnf.solver_mut()
+                .solve_with_assumptions(&[ult, slt, eq, !neq]),
             SolveResult::Sat
         );
     }

@@ -48,6 +48,7 @@ pub mod blast;
 pub mod cnf;
 pub mod pred;
 pub mod query;
+pub mod session;
 
 pub use blast::TransitionEncoding;
 pub use pred::{Pattern, Predicate, SetLabel};
@@ -56,3 +57,4 @@ pub use query::{
     monolithic_induction_check_tracked, AbductionConfig, AbductionResult, EncodeScope,
     InductionCex, MonolithicOutcome, QueryTelemetry,
 };
+pub use session::AbductionSession;

@@ -28,7 +28,11 @@ pub struct Pattern {
 impl Pattern {
     /// A pattern matching exactly `value` at full width.
     pub fn exact(width: u32, value: u64) -> Pattern {
-        let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         Pattern {
             mask,
             value: value & mask,
@@ -273,7 +277,10 @@ impl Predicate {
     pub fn describe(&self, netlist: &Netlist) -> String {
         let base = |s: StateId| {
             let n = netlist.state_name(s);
-            n.strip_prefix("l$").or(n.strip_prefix("r$")).unwrap_or(n).to_string()
+            n.strip_prefix("l$")
+                .or(n.strip_prefix("r$"))
+                .unwrap_or(n)
+                .to_string()
         };
         match self {
             Predicate::Eq { left, .. } => format!("Eq({})", base(*left)),
@@ -312,7 +319,10 @@ mod tests {
 
     #[test]
     fn pattern_matching() {
-        let p = Pattern { mask: 0x7f, value: 0x33 };
+        let p = Pattern {
+            mask: 0x7f,
+            value: 0x33,
+        };
         assert!(p.matches(0x33));
         assert!(p.matches(0xb3)); // bit 7 ignored
         assert!(!p.matches(0x32));
@@ -368,7 +378,13 @@ mod tests {
             Predicate::in_set(
                 l,
                 rr,
-                vec![Pattern { mask: 0x0f, value: 0x07 }, Pattern::exact(8, 0x20)],
+                vec![
+                    Pattern {
+                        mask: 0x0f,
+                        value: 0x07,
+                    },
+                    Pattern::exact(8, 0x20),
+                ],
                 SetLabel::InSafeSet,
             ),
         ];
@@ -378,8 +394,8 @@ mod tests {
                 enc.fix_state(l, Bv::new(8, lv));
                 enc.fix_state(rr, Bv::new(8, rv));
                 let lit = pred.encode_current(&mut enc);
-                let sat = enc.cnf_mut().solver_mut().solve_with_assumptions(&[lit])
-                    == SolveResult::Sat;
+                let sat =
+                    enc.cnf_mut().solver_mut().solve_with_assumptions(&[lit]) == SolveResult::Sat;
                 let mut sv = StateValues::initial(m.netlist());
                 sv.set(l, Bv::new(8, lv));
                 sv.set(rr, Bv::new(8, rv));

@@ -12,8 +12,9 @@
 
 use crate::blast::TransitionEncoding;
 use crate::pred::Predicate;
+use crate::session::AbductionSession;
 use hh_netlist::{Bv, Netlist, StateId};
-use hh_sat::{minimize_core, Lit, SolveResult};
+use hh_sat::{Lit, SolveResult};
 use std::collections::BTreeMap;
 
 /// Encoding scope for queries (ablation knob; see DESIGN.md §4.1).
@@ -32,6 +33,14 @@ pub struct AbductionConfig {
     /// Shrink UNSAT cores to local minimality (biasing toward the weakest
     /// abduct, §3.2.3).
     pub minimize: bool,
+    /// Run deletion minimisation over the *canonically ordered full
+    /// assumption set* instead of the solver-reported core. This makes the
+    /// abduct a pure function of the query — independent of any solver
+    /// history a reused [`crate::AbductionSession`] carries — at the price
+    /// of wider minimisation probes (≈2–3× slower queries). Off by default:
+    /// the engines obtain reproducibility from their deterministic
+    /// schedulers instead (identical query histories ⇒ identical answers).
+    pub canonical_cores: bool,
     /// Encoding scope.
     pub scope: EncodeScope,
 }
@@ -42,6 +51,7 @@ impl AbductionConfig {
     pub fn paper_default() -> AbductionConfig {
         AbductionConfig {
             minimize: true,
+            canonical_cores: false,
             scope: EncodeScope::Cone,
         }
     }
@@ -50,14 +60,27 @@ impl AbductionConfig {
 /// Telemetry from one abduction query.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryTelemetry {
-    /// SAT variables allocated by the query.
+    /// SAT variables newly allocated by the query (for a fresh query, the
+    /// whole cone encoding; for a session reuse, only unseen candidates).
     pub vars: usize,
-    /// Clauses allocated by the query.
+    /// Clauses newly allocated by the query (on reused sessions this delta
+    /// also includes clauses learnt during earlier queries).
     pub clauses: usize,
     /// Solver conflicts spent.
     pub conflicts: u64,
     /// Number of `solve` calls (1 + minimisation probes).
     pub solves: u64,
+    /// Variables the query *reused* from a live session instead of
+    /// re-allocating (0 for fresh queries) — the re-encoding saved.
+    pub vars_reused: usize,
+    /// Clauses reused from a live session (0 for fresh queries).
+    pub clauses_reused: usize,
+    /// Time spent blasting/registering (encode side of the query).
+    pub encode_time: std::time::Duration,
+    /// Time spent solving (including minimisation probes).
+    pub solve_time: std::time::Duration,
+    /// Whether the query was answered on a reused session encoding.
+    pub cached: bool,
 }
 
 /// Result of an abduction query.
@@ -89,79 +112,11 @@ pub fn abduct(
     candidates: &[Predicate],
     config: &AbductionConfig,
 ) -> AbductionResult {
-    let mut enc = TransitionEncoding::new(netlist);
-    if config.scope == EncodeScope::Monolithic {
-        enc.encode_everything();
-    }
-    let p_now = target.encode_current(&mut enc);
-    enc.assert_lit(p_now);
-    let p_next = target.encode_next(&mut enc);
-    enc.assert_lit(!p_next);
-
-    // Indicator literal per candidate: a_i -> candidate_i holds now.
-    let mut indicators: Vec<Lit> = Vec::with_capacity(candidates.len());
-    for cand in candidates {
-        let cl = cand.encode_current(&mut enc);
-        let a = enc.cnf_mut().fresh();
-        enc.cnf_mut().clause(&[!a, cl]);
-        indicators.push(a);
-    }
-
-    let (vars, clauses) = enc.size();
-    let solver = enc.cnf_mut().solver_mut();
-    let before = solver.stats();
-    let result = solver.solve_with_assumptions(&indicators);
-    let abduct = match result {
-        SolveResult::Sat => None,
-        SolveResult::Unsat => {
-            let mut core = solver.unsat_core().to_vec();
-            // Bias toward the *weakest* abduct (§3.2.3): deletion-based
-            // minimisation keeps whatever it fails to delete, and it
-            // attempts deletions front to back — so order the core with the
-            // strongest predicates first. Strong predicates (EqConst >
-            // InSet > Eq) are easier to prove relatively inductive *now*
-            // but more likely to fail downstream, so preferring to delete
-            // them reduces backtracking.
-            core.sort_by_key(|l| {
-                let idx = indicators
-                    .iter()
-                    .position(|&a| a == *l)
-                    .expect("core literal is an indicator");
-                match candidates[idx] {
-                    Predicate::EqConst { .. } => 0u8,
-                    Predicate::InSet { .. } => 1,
-                    Predicate::Impl { .. } => 2,
-                    Predicate::Eq { .. } => 3,
-                }
-            });
-            let core = if config.minimize {
-                minimize_core(solver, &core)
-            } else {
-                core
-            };
-            let mut idxs: Vec<usize> = core
-                .iter()
-                .map(|l| {
-                    indicators
-                        .iter()
-                        .position(|&a| a == *l)
-                        .expect("core literal is an indicator")
-                })
-                .collect();
-            idxs.sort_unstable();
-            Some(idxs)
-        }
-    };
-    let after = enc.cnf().solver().stats();
-    AbductionResult {
-        abduct,
-        telemetry: QueryTelemetry {
-            vars,
-            clauses,
-            conflicts: after.conflicts - before.conflicts,
-            solves: after.solves - before.solves,
-        },
-    }
+    // An ephemeral single-query session: the fresh path and a session's
+    // first query are literally the same code, and retries share the same
+    // deletion minimisation (strongest predicates offered for deletion
+    // first, biasing toward the weakest abduct, §3.2.3).
+    AbductionSession::new(netlist, target.clone(), config.clone()).solve(candidates)
 }
 
 /// Checks `(⋀ premise) ∧ target ⟹ target'` (relative induction, Def. 2.4).
@@ -233,10 +188,7 @@ pub enum MonolithicOutcome {
 /// predicate set (paper §2.2.1). Used by the HOUDINI/SORCAR baselines and to
 /// independently validate invariants learned hierarchically (§6.4 does the
 /// same for Rocketchip).
-pub fn monolithic_induction_check(
-    netlist: &Netlist,
-    invariant: &[Predicate],
-) -> MonolithicOutcome {
+pub fn monolithic_induction_check(netlist: &Netlist, invariant: &[Predicate]) -> MonolithicOutcome {
     monolithic_induction_check_tracked(netlist, invariant, &[])
 }
 
@@ -249,7 +201,10 @@ pub fn monolithic_induction_check_tracked(
     invariant: &[Predicate],
     tracked: &[Predicate],
 ) -> MonolithicOutcome {
-    assert!(!invariant.is_empty(), "empty invariant is trivially inductive");
+    assert!(
+        !invariant.is_empty(),
+        "empty invariant is trivially inductive"
+    );
     let mut enc = TransitionEncoding::new(netlist);
     // Assert every predicate now.
     for pred in invariant {
@@ -336,7 +291,12 @@ mod tests {
             Predicate::eq(m.left(b), m.right(b)),
             Predicate::eq(m.left(c), m.right(c)),
         ];
-        let res = abduct(m.netlist(), &target, &candidates, &AbductionConfig::paper_default());
+        let res = abduct(
+            m.netlist(),
+            &target,
+            &candidates,
+            &AbductionConfig::paper_default(),
+        );
         // Both inputs are needed to force the AND outputs equal.
         assert_eq!(res.abduct, Some(vec![0, 1]));
     }
@@ -351,7 +311,12 @@ mod tests {
         // appear in the minimised abduct.
         let target = Predicate::eq(m.left(b), m.right(b));
         let candidates = vec![Predicate::eq(m.left(c), m.right(c))];
-        let res = abduct(m.netlist(), &target, &candidates, &AbductionConfig::paper_default());
+        let res = abduct(
+            m.netlist(),
+            &target,
+            &candidates,
+            &AbductionConfig::paper_default(),
+        );
         assert_eq!(res.abduct, Some(vec![])); // empty abduct: self-inductive
     }
 
@@ -402,7 +367,11 @@ mod tests {
             &eq_a
         ));
         // Eq(B) alone is not enough: C may differ and flip the AND.
-        assert!(!check_relative_inductive(m.netlist(), std::slice::from_ref(&eq_b), &eq_a));
+        assert!(!check_relative_inductive(
+            m.netlist(),
+            std::slice::from_ref(&eq_b),
+            &eq_a
+        ));
         // Eq(B) is inductive relative to nothing (B holds itself).
         assert!(check_relative_inductive(m.netlist(), &[], &eq_b));
     }

@@ -1,0 +1,431 @@
+//! Incremental abduction sessions (paper §3.2.4).
+//!
+//! The paper's tool keeps one cvc5 context alive per target predicate and
+//! re-asks the abduction query incrementally whenever `P_fail` grows or a
+//! backtracking sweep invalidates a memoised solution. An
+//! [`AbductionSession`] reproduces that: it owns a live
+//! [`TransitionEncoding`] + CDCL solver for one target, registers each
+//! candidate **once** behind an indicator literal, and answers every retry
+//! by re-solving under a filtered assumption set — the cone is never
+//! re-blasted, and learnt clauses accumulate across retries.
+//!
+//! ## Determinism
+//!
+//! The CDCL solver is deterministic, so a session's answer is a pure
+//! function of its **query history** (the sequence of candidate sets it was
+//! asked about). Both engines issue per-target query sequences that are
+//! themselves deterministic — the serial engine by construction, the
+//! streaming engine by committing results in issue order — so learned
+//! invariants are reproducible run-to-run and across thread counts.
+//!
+//! A reused solver does carry learnt clauses, so a *retry*'s raw UNSAT core
+//! can in principle differ from the core a fresh solver would report; both
+//! minimise to valid minimal abducts and coincide whenever the minimal core
+//! is unique (`session retry == fresh abduct()` on every workload we test).
+//! For callers that need the abduct to be a pure function of the query
+//! regardless of solver history, [`AbductionConfig::canonical_cores`] runs
+//! deletion over the **canonically ordered full assumption set** (strongest
+//! predicates first, registration order as tiebreak): each deletion probe
+//! is then a semantic SAT question, so the trajectory — and the final
+//! abduct — depends only on the query. The solver's reported core still
+//! serves as an oracle that answers most UNSAT probes without solving, but
+//! the probes carry the full assumption width, costing ≈2–3× per query —
+//! which is why it is opt-in.
+
+use crate::blast::TransitionEncoding;
+use crate::pred::Predicate;
+use crate::query::{AbductionConfig, AbductionResult, EncodeScope, QueryTelemetry};
+use hh_netlist::Netlist;
+use hh_sat::{Lit, SolveResult, Solver};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Deletion-minimisation bias (§3.2.3): strong predicates are easy to prove
+/// relatively inductive *now* but likely to fail downstream, so they are
+/// offered for deletion first, steering toward the weakest abduct.
+fn strength_key(p: &Predicate) -> u8 {
+    match p {
+        Predicate::EqConst { .. } => 0,
+        Predicate::InSet { .. } => 1,
+        Predicate::Impl { .. } => 2,
+        Predicate::Eq { .. } => 3,
+    }
+}
+
+/// A live incremental abduction context for one target predicate.
+///
+/// The first [`AbductionSession::solve`] call blasts the target's 1-step
+/// cone and asserts `target ∧ ¬target'`; later calls only encode candidates
+/// not seen before and re-solve under assumptions. Dropping the session
+/// frees the solver.
+#[derive(Debug)]
+pub struct AbductionSession<'a> {
+    netlist: &'a Netlist,
+    target: Predicate,
+    config: AbductionConfig,
+    /// Lazily built on first solve so telemetry attributes the base
+    /// encoding to the first query, exactly like the fresh path.
+    enc: Option<TransitionEncoding<'a>>,
+    /// Registered candidate -> slot index.
+    slots: HashMap<Predicate, usize>,
+    /// Slot -> indicator literal (`indicator -> candidate holds now`).
+    indicators: Vec<Lit>,
+    /// Slot -> deletion-order strength key.
+    strength: Vec<u8>,
+    /// Indicator literal -> slot. Built once per *registration* instead of
+    /// the old per-core `iter().position()` scan.
+    slot_of_lit: HashMap<Lit, usize>,
+    /// `(vars, clauses)` at the end of the previous call's registration
+    /// phase; deltas against it give per-query allocation telemetry.
+    last_size: (usize, usize),
+    queries: u64,
+}
+
+impl<'a> AbductionSession<'a> {
+    /// Creates an idle session for `target`. No encoding happens until the
+    /// first [`AbductionSession::solve`].
+    pub fn new(
+        netlist: &'a Netlist,
+        target: Predicate,
+        config: AbductionConfig,
+    ) -> AbductionSession<'a> {
+        AbductionSession {
+            netlist,
+            target,
+            config,
+            enc: None,
+            slots: HashMap::new(),
+            indicators: Vec::new(),
+            strength: Vec::new(),
+            slot_of_lit: HashMap::new(),
+            last_size: (0, 0),
+            queries: 0,
+        }
+    }
+
+    /// The session's target predicate.
+    pub fn target(&self) -> &Predicate {
+        &self.target
+    }
+
+    /// Number of queries answered so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Number of candidates registered (encoded) so far.
+    pub fn registered(&self) -> usize {
+        self.indicators.len()
+    }
+
+    /// Runs the abduction query for this session's target over
+    /// `candidates`, reusing all encoding from earlier calls.
+    ///
+    /// Candidates absent from earlier calls are appended incrementally;
+    /// candidates registered earlier but missing from `candidates` (e.g.
+    /// freshly failed predicates) are simply not assumed, so they impose no
+    /// constraint. Returned indices point into **this call's** `candidates`
+    /// slice.
+    pub fn solve(&mut self, candidates: &[Predicate]) -> AbductionResult {
+        let t_encode = Instant::now();
+        let reused = self.enc.is_some();
+        if !reused {
+            let mut enc = TransitionEncoding::new(self.netlist);
+            if self.config.scope == EncodeScope::Monolithic {
+                enc.encode_everything();
+            }
+            let p_now = self.target.encode_current(&mut enc);
+            enc.assert_lit(p_now);
+            let p_next = self.target.encode_next(&mut enc);
+            enc.assert_lit(!p_next);
+            self.enc = Some(enc);
+        }
+        let enc = self.enc.as_mut().expect("encoding just ensured");
+
+        // Register unseen candidates; build this call's assumption set.
+        let mut assumed: Vec<(Lit, u8, usize)> = Vec::with_capacity(candidates.len());
+        let mut call_idx_of_slot: HashMap<usize, usize> = HashMap::with_capacity(candidates.len());
+        for (call_idx, cand) in candidates.iter().enumerate() {
+            let slot = match self.slots.get(cand) {
+                Some(&s) => s,
+                None => {
+                    let cl = cand.encode_current(enc);
+                    let a = enc.cnf_mut().fresh();
+                    enc.cnf_mut().clause(&[!a, cl]);
+                    let s = self.indicators.len();
+                    self.indicators.push(a);
+                    self.strength.push(strength_key(cand));
+                    self.slot_of_lit.insert(a, s);
+                    self.slots.insert(cand.clone(), s);
+                    s
+                }
+            };
+            // First occurrence wins on (degenerate) duplicate candidates.
+            if let std::collections::hash_map::Entry::Vacant(e) = call_idx_of_slot.entry(slot) {
+                e.insert(call_idx);
+                assumed.push((self.indicators[slot], self.strength[slot], slot));
+            }
+        }
+        let encode_time = t_encode.elapsed();
+
+        // Allocation telemetry: what this call added on top of what the
+        // session already had. (The clause delta on reused sessions also
+        // counts clauses learnt during earlier queries — still memory this
+        // query occupies, and dwarfed by the re-blasting it avoids.)
+        let size_now = enc.size();
+        let (vars_reused, clauses_reused) = if reused { self.last_size } else { (0, 0) };
+        let vars = size_now.0 - vars_reused;
+        let clauses = size_now.1.saturating_sub(clauses_reused);
+        self.last_size = size_now;
+        self.queries += 1;
+
+        let t_solve = Instant::now();
+        let solver = enc.cnf_mut().solver_mut();
+        let before = solver.stats();
+        let assumptions: Vec<Lit> = assumed.iter().map(|&(l, _, _)| l).collect();
+        let abduct = match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => None,
+            SolveResult::Unsat => {
+                let core = solver.unsat_core().to_vec();
+                let final_core = if self.config.minimize && self.config.canonical_cores {
+                    // Strict mode: trajectory independent of solver history.
+                    let mut ordered = assumed.clone();
+                    ordered.sort_by_key(|&(_, strength, slot)| (strength, slot));
+                    let ordered: Vec<Lit> = ordered.into_iter().map(|(l, _, _)| l).collect();
+                    canonical_minimize(solver, &ordered, &core)
+                } else if self.config.minimize {
+                    // Default: deletion over the solver core, strongest
+                    // predicates offered for deletion first (§3.2.3).
+                    let mut c = core.clone();
+                    c.sort_by_key(|l| {
+                        let s = self.slot_of_lit[l];
+                        (self.strength[s], s)
+                    });
+                    hh_sat::minimize_core(solver, &c)
+                } else {
+                    core
+                };
+                let mut idxs: Vec<usize> = final_core
+                    .iter()
+                    .map(|l| {
+                        let slot = self.slot_of_lit[l];
+                        call_idx_of_slot[&slot]
+                    })
+                    .collect();
+                idxs.sort_unstable();
+                Some(idxs)
+            }
+        };
+        let after = enc.cnf().solver().stats();
+        let solve_time = t_solve.elapsed();
+
+        AbductionResult {
+            abduct,
+            telemetry: QueryTelemetry {
+                vars,
+                clauses,
+                conflicts: after.conflicts - before.conflicts,
+                solves: after.solves - before.solves,
+                vars_reused,
+                clauses_reused,
+                encode_time,
+                solve_time,
+                cached: reused,
+            },
+        }
+    }
+}
+
+/// Deletion minimisation over the canonically ordered full assumption set.
+///
+/// Trajectory-equivalent to plain deletion (probe `current \ {x}`; UNSAT ⇒
+/// drop `x`), so the result depends only on `ordered` and the formula's
+/// semantics — never on solver history. `known` (any valid UNSAT core, e.g.
+/// the solver's) answers probes `current \ {x}` with `known ⊆ current \ {x}`
+/// as UNSAT without solving, which skips every non-core deletion.
+fn canonical_minimize(solver: &mut Solver, ordered: &[Lit], initial_core: &[Lit]) -> Vec<Lit> {
+    let mut current: Vec<Lit> = ordered.to_vec();
+    let mut known: HashSet<Lit> = initial_core.iter().copied().collect();
+    let mut i = 0;
+    while i < current.len() {
+        let candidate = current[i];
+        if !known.contains(&candidate) {
+            // known ⊆ current \ {candidate}: semantically UNSAT, skip solve.
+            current.remove(i);
+            continue;
+        }
+        let probe: Vec<Lit> = current
+            .iter()
+            .copied()
+            .filter(|&l| l != candidate)
+            .collect();
+        match solver.solve_with_assumptions(&probe) {
+            SolveResult::Unsat => {
+                current.remove(i);
+                // Refresh the oracle; the new core is ⊆ probe = current.
+                known = solver.unsat_core().iter().copied().collect();
+            }
+            SolveResult::Sat => i += 1,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_netlist::miter::Miter;
+    use hh_netlist::{Bv, Netlist};
+
+    /// The paper's AND-gate: A <= B & C; B, C hold.
+    fn and_gate() -> (Netlist, Miter) {
+        let mut n = Netlist::new("and_gate");
+        let b = n.state("B", 1, Bv::bit(true));
+        let c = n.state("C", 1, Bv::bit(true));
+        let a = n.state("A", 1, Bv::bit(true));
+        let band = n.and(n.state_node(b), n.state_node(c));
+        n.set_next(a, band);
+        n.keep_state(b);
+        n.keep_state(c);
+        let m = Miter::build(&n);
+        (n, m)
+    }
+
+    #[test]
+    fn session_matches_fresh_abduct() {
+        let (base, m) = and_gate();
+        let a = base.find_state("A").unwrap();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let target = Predicate::eq(m.left(a), m.right(a));
+        let cands = vec![
+            Predicate::eq(m.left(b), m.right(b)),
+            Predicate::eq(m.left(c), m.right(c)),
+        ];
+        let cfg = AbductionConfig::paper_default();
+        let fresh = crate::query::abduct(m.netlist(), &target, &cands, &cfg);
+        let mut sess = AbductionSession::new(m.netlist(), target, cfg);
+        let first = sess.solve(&cands);
+        assert_eq!(first.abduct, fresh.abduct);
+        assert_eq!(first.abduct, Some(vec![0, 1]));
+        assert!(!first.telemetry.cached);
+        assert_eq!(first.telemetry.vars_reused, 0);
+    }
+
+    #[test]
+    fn retry_reuses_encoding_and_matches_fresh() {
+        let (base, m) = and_gate();
+        let a = base.find_state("A").unwrap();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let target = Predicate::eq(m.left(a), m.right(a));
+        let eq_b = Predicate::eq(m.left(b), m.right(b));
+        let eq_c = Predicate::eq(m.left(c), m.right(c));
+        let cfg = AbductionConfig::paper_default();
+        let mut sess = AbductionSession::new(m.netlist(), target.clone(), cfg.clone());
+
+        let all = vec![eq_b.clone(), eq_c.clone()];
+        let first = sess.solve(&all);
+        assert_eq!(first.abduct, Some(vec![0, 1]));
+
+        // Retry with Eq(C) "failed": only Eq(B) remains — SAT (no abduct),
+        // exactly like a fresh query over the reduced set.
+        let reduced = vec![eq_b.clone()];
+        let retry = sess.solve(&reduced);
+        let fresh = crate::query::abduct(m.netlist(), &target, &reduced, &cfg);
+        assert_eq!(retry.abduct, fresh.abduct);
+        assert_eq!(retry.abduct, None);
+        // The retry reused the first call's whole encoding.
+        assert!(retry.telemetry.cached);
+        assert!(retry.telemetry.vars_reused >= first.telemetry.vars);
+        assert_eq!(retry.telemetry.vars, 0, "no new candidate, no new vars");
+
+        // Restoring the full set still answers like a fresh solver.
+        let again = sess.solve(&all);
+        assert_eq!(again.abduct, Some(vec![0, 1]));
+        assert_eq!(sess.queries(), 3);
+        assert_eq!(sess.registered(), 2);
+    }
+
+    #[test]
+    fn indices_follow_the_call_slice_order() {
+        let (base, m) = and_gate();
+        let a = base.find_state("A").unwrap();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let target = Predicate::eq(m.left(a), m.right(a));
+        let eq_b = Predicate::eq(m.left(b), m.right(b));
+        let eq_c = Predicate::eq(m.left(c), m.right(c));
+        let mut sess = AbductionSession::new(m.netlist(), target, AbductionConfig::paper_default());
+        sess.solve(&[eq_b.clone(), eq_c.clone()]);
+        // Same candidates, swapped order: indices must track the new slice.
+        let res = sess.solve(&[eq_c, eq_b]);
+        assert_eq!(res.abduct, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn session_is_self_inductive_aware() {
+        // B holds itself: empty abduct regardless of offered candidates.
+        let (base, m) = and_gate();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let target = Predicate::eq(m.left(b), m.right(b));
+        let mut sess = AbductionSession::new(m.netlist(), target, AbductionConfig::paper_default());
+        let res = sess.solve(&[Predicate::eq(m.left(c), m.right(c))]);
+        assert_eq!(res.abduct, Some(vec![]));
+        let retry = sess.solve(&[]);
+        assert_eq!(retry.abduct, Some(vec![]));
+    }
+
+    #[test]
+    fn canonical_mode_retry_matches_fresh_exactly() {
+        // Strict mode: the abduct is a pure function of the query, so a
+        // retry on a solver full of learnt clauses must equal a fresh query.
+        let (base, m) = and_gate();
+        let a = base.find_state("A").unwrap();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let target = Predicate::eq(m.left(a), m.right(a));
+        let eq_b = Predicate::eq(m.left(b), m.right(b));
+        let eq_c = Predicate::eq(m.left(c), m.right(c));
+        let cfg = AbductionConfig {
+            canonical_cores: true,
+            ..AbductionConfig::paper_default()
+        };
+        let mut sess = AbductionSession::new(m.netlist(), target.clone(), cfg.clone());
+        let all = vec![eq_b.clone(), eq_c.clone()];
+        assert_eq!(sess.solve(&all).abduct, Some(vec![0, 1]));
+        assert_eq!(sess.solve(std::slice::from_ref(&eq_b)).abduct, None); // churn
+        let retry = sess.solve(&all);
+        let fresh = crate::query::abduct(m.netlist(), &target, &all, &cfg);
+        assert_eq!(retry.abduct, fresh.abduct);
+        assert_eq!(retry.abduct, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn canonical_minimize_is_history_independent() {
+        // a -> x, b -> x, c -> !x: {a,c} and {b,c} are both minimal. The
+        // canonical order fixes which one wins no matter which core the
+        // solver reports first.
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        let x = s.new_var().positive();
+        s.add_clause(&[!a, x]);
+        s.add_clause(&[!b, x]);
+        s.add_clause(&[!c, !x]);
+        assert_eq!(s.solve_with_assumptions(&[a, b, c]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        let ordered = [a, b, c];
+        let m1 = canonical_minimize(&mut s, &ordered, &core);
+        // Re-run after extra solver churn: same result.
+        let _ = s.solve_with_assumptions(&[b, c]);
+        assert_eq!(s.solve_with_assumptions(&[a, b, c]), SolveResult::Unsat);
+        let core2 = s.unsat_core().to_vec();
+        let m2 = canonical_minimize(&mut s, &ordered, &core2);
+        assert_eq!(m1, m2);
+        // Canonical deletion drops `a` first: the survivor pair is {b, c}.
+        assert_eq!(m1, vec![b, c]);
+    }
+}

@@ -88,10 +88,7 @@ pub fn alu_result(
         (Auipc, auipc_v),
     ];
     let zero = n.c(xlen, 0);
-    let cases: Vec<(NodeId, NodeId)> = table
-        .into_iter()
-        .map(|(m, v)| (d.matches[&m], v))
-        .collect();
+    let cases: Vec<(NodeId, NodeId)> = table.into_iter().map(|(m, v)| (d.matches[&m], v)).collect();
     n.select(&cases, zero)
 }
 
@@ -135,7 +132,12 @@ mod tests {
         assert_eq!(run_alu(asm::sub(3, 1, 2), 0, 7, 8), 0xffff);
         assert_eq!(run_alu(asm::addi(3, 1, -2), 0, 7, 0), 5);
         assert_eq!(
-            run_alu(Instruction::rtype(Mnemonic::Xor, 3, 1, 2), 0, 0xff00, 0x0ff0),
+            run_alu(
+                Instruction::rtype(Mnemonic::Xor, 3, 1, 2),
+                0,
+                0xff00,
+                0x0ff0
+            ),
             0xf0f0
         );
         assert_eq!(

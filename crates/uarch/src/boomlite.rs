@@ -119,13 +119,7 @@ struct IssueQueueOut {
     full: NodeId,
 }
 
-fn build_iq(
-    n: &mut Netlist,
-    prefix: &str,
-    entries: usize,
-    xlen: u32,
-    rbits: u32,
-) -> IssueQueueOut {
+fn build_iq(n: &mut Netlist, prefix: &str, entries: usize, xlen: u32, rbits: u32) -> IssueQueueOut {
     let qbits = (entries.trailing_zeros()).max(1);
     assert!(entries.is_power_of_two());
     let nopw = Instruction::nop().encode() as u64;

@@ -60,7 +60,10 @@ pub fn matches_pattern(n: &mut Netlist, word: NodeId, p: MaskMatch) -> NodeId {
 
 /// The number of register-index bits used for `nregs` registers.
 pub fn reg_bits(nregs: usize) -> u32 {
-    assert!(nregs.is_power_of_two() && nregs >= 2, "nregs must be a power of two");
+    assert!(
+        nregs.is_power_of_two() && nregs >= 2,
+        "nregs must be a power of two"
+    );
     nregs.trailing_zeros()
 }
 
@@ -79,14 +82,15 @@ pub fn decode(n: &mut Netlist, instr: NodeId, xlen: u32, nregs: usize) -> Decode
         let bit = matches_pattern(n, instr, m.pattern());
         matches.insert(m, bit);
     }
-    let class_or = |n: &mut Netlist, matches: &HashMap<Mnemonic, NodeId>, f: &dyn Fn(Mnemonic) -> bool| {
-        let bits: Vec<NodeId> = ALL_MNEMONICS
-            .iter()
-            .filter(|&&m| f(m))
-            .map(|m| matches[m])
-            .collect();
-        n.or_all(&bits)
-    };
+    let class_or =
+        |n: &mut Netlist, matches: &HashMap<Mnemonic, NodeId>, f: &dyn Fn(Mnemonic) -> bool| {
+            let bits: Vec<NodeId> = ALL_MNEMONICS
+                .iter()
+                .filter(|&&m| f(m))
+                .map(|m| matches[m])
+                .collect();
+            n.or_all(&bits)
+        };
 
     let known = class_or(n, &matches, &|_| true);
     let is_alu = class_or(n, &matches, &|m| m.class() == hh_isa::InstrClass::Alu);
@@ -159,7 +163,10 @@ pub fn decode(n: &mut Netlist, instr: NodeId, xlen: u32, nregs: usize) -> Decode
 /// `index` (width must be `log2(regs.len())`).
 pub fn rf_read(n: &mut Netlist, regs: &[NodeId], index: NodeId) -> NodeId {
     assert!(regs.len().is_power_of_two());
-    assert_eq!(n.width(index) as usize, regs.len().trailing_zeros() as usize);
+    assert_eq!(
+        n.width(index) as usize,
+        regs.len().trailing_zeros() as usize
+    );
     let mut cases = Vec::new();
     for (i, &r) in regs.iter().enumerate().take(regs.len() - 1) {
         let sel = n.eq_const(index, i as u64);

@@ -202,7 +202,7 @@ mod tests {
         let (lat, res) = run(&stage, &[3, 4, 0, 0], cmd(Opcode::Add, 0, 1));
         assert_eq!(res, 7);
         assert_eq!(lat, 2); // execute + output register
-        // ADD latency never depends on operands.
+                            // ADD latency never depends on operands.
         let (lat2, res2) = run(&stage, &[0, 9, 0, 0], cmd(Opcode::Add, 0, 1));
         assert_eq!((lat2, res2), (2, 9));
     }

@@ -58,9 +58,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let val = |it: &mut dyn Iterator<Item = String>| {
-            it.next().unwrap_or_else(|| usage())
-        };
+        let val = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
         match a.as_str() {
             "--design" => args.design_path = Some(val(&mut it)),
             "--builtin" => args.builtin = Some(val(&mut it)),
@@ -76,9 +74,7 @@ fn parse_args() -> Args {
                 ));
             }
             "--xlen" => args.xlen = val(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--max-latency" => {
-                args.max_latency = val(&mut it).parse().unwrap_or_else(|_| usage())
-            }
+            "--max-latency" => args.max_latency = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--impl-predicates" => args.impl_predicates = true,
             "--help" | "-h" => usage(),
@@ -102,7 +98,10 @@ fn load_design(args: &Args) -> Result<Design, String> {
             other => return Err(format!("unknown builtin design: {other}")),
         });
     }
-    let path = args.design_path.as_ref().ok_or("missing --design or --builtin")?;
+    let path = args
+        .design_path
+        .as_ref()
+        .ok_or("missing --design or --builtin")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let netlist = parse_btor2(&text).map_err(|e| e.to_string())?;
 
@@ -185,7 +184,10 @@ fn main() -> ExitCode {
     let report = veloct.classify(&default_candidates());
     let elapsed = t0.elapsed();
 
-    println!("\nverified safe instruction set ({} instructions):", report.safe.len());
+    println!(
+        "\nverified safe instruction set ({} instructions):",
+        report.safe.len()
+    );
     let names: Vec<&str> = report.safe.iter().map(|m| m.name()).collect();
     println!("  {}", names.join(", "));
     if !report.rejected.is_empty() {

@@ -260,8 +260,16 @@ pub fn run_program_pair_window(
 ) -> Result<Vec<StateValues>, Divergence> {
     let cycles = prog.len() + design.max_latency;
     let inputs = drive(design, prog, cycles);
-    let lt = simulate(&design.netlist, initial_state(design, &config.left), &inputs);
-    let rt = simulate(&design.netlist, initial_state(design, &config.right), &inputs);
+    let lt = simulate(
+        &design.netlist,
+        initial_state(design, &config.left),
+        &inputs,
+    );
+    let rt = simulate(
+        &design.netlist,
+        initial_state(design, &config.right),
+        &inputs,
+    );
 
     // Trace indistinguishability on the observables (Def. 4.2).
     for &o in &design.observable {
@@ -295,8 +303,16 @@ pub fn run_program_pair_unmasked(
     // Re-run the paired simulation but skip `apply_masking`.
     let cycles = prog.len() + design.max_latency;
     let inputs = drive(design, prog, cycles);
-    let lt = simulate(&design.netlist, initial_state(design, &config.left), &inputs);
-    let rt = simulate(&design.netlist, initial_state(design, &config.right), &inputs);
+    let lt = simulate(
+        &design.netlist,
+        initial_state(design, &config.left),
+        &inputs,
+    );
+    let rt = simulate(
+        &design.netlist,
+        initial_state(design, &config.right),
+        &inputs,
+    );
     for &o in &design.observable {
         let lw = state_waveform(&lt, o);
         let rw = state_waveform(&rt, o);
@@ -385,7 +401,15 @@ pub fn generate_examples_opts(
     seed: u64,
     mask: bool,
 ) -> Result<Vec<StateValues>, Divergence> {
-    generate_examples_custom(design, miter, safe, pairs_per_instr, seed, mask, &EXAMPLE_RDS)
+    generate_examples_custom(
+        design,
+        miter,
+        safe,
+        pairs_per_instr,
+        seed,
+        mask,
+        &EXAMPLE_RDS,
+    )
 }
 
 /// [`generate_examples_opts`] with an explicit destination-register
@@ -413,11 +437,7 @@ pub fn generate_examples_custom(
             out.extend(states);
         }
     }
-    out.sort_by(|a, b| {
-        a.iter()
-            .map(|(_, v)| v)
-            .cmp(b.iter().map(|(_, v)| v))
-    });
+    out.sort_by(|a, b| a.iter().map(|(_, v)| v).cmp(b.iter().map(|(_, v)| v)));
     out.dedup();
     Ok(out)
 }

@@ -405,11 +405,7 @@ pub fn instruction_patterns(safe: &[Mnemonic]) -> Vec<Pattern> {
 }
 
 /// Builds the 1-bit "word matches one of the patterns" node.
-fn patterns_node(
-    n: &mut hh_netlist::Netlist,
-    word: NodeId,
-    patterns: &[Pattern],
-) -> NodeId {
+fn patterns_node(n: &mut hh_netlist::Netlist, word: NodeId, patterns: &[Pattern]) -> NodeId {
     let mut terms = Vec::new();
     for p in patterns {
         let mm = hh_isa::MaskMatch {

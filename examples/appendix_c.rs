@@ -13,14 +13,14 @@
 //!    `Eq(Op1)`/`Eq(Op2)`, positive examples refute them, and the learner
 //!    backtracks until it correctly reports that no invariant exists.
 
+use hh_suite::hhoudini::mine::CoiMiner;
+use hh_suite::hhoudini::{EngineConfig, SerialEngine};
 use hh_suite::netlist::eval::{InputValues, StateValues};
 use hh_suite::netlist::miter::Miter;
 use hh_suite::netlist::Bv;
 use hh_suite::sim::{product_states, simulate};
 use hh_suite::smt::{Pattern, Predicate};
 use hh_suite::uarch::execstage::{cmd, exec_stage, ExecStage, Opcode, CMD_INPUT};
-use hh_suite::hhoudini::mine::CoiMiner;
-use hh_suite::hhoudini::{EngineConfig, SerialEngine};
 
 /// Paired traces that run the program with different register-file secrets.
 fn gather_examples(
@@ -72,17 +72,39 @@ fn learn(stage: &ExecStage, allow_mul: bool) {
 
     // Positive examples: ADD (and MUL when admitted) with differing secrets.
     let mut examples = Vec::new();
-    let adds = vec![cmd(Opcode::Add, 0, 1), cmd(Opcode::Nop, 0, 0), cmd(Opcode::Add, 2, 3)];
-    examples.extend(gather_examples(stage, &miter, &adds, &[3, 4, 5, 6], &[9, 8, 7, 6]));
+    let adds = vec![
+        cmd(Opcode::Add, 0, 1),
+        cmd(Opcode::Nop, 0, 0),
+        cmd(Opcode::Add, 2, 3),
+    ];
+    examples.extend(gather_examples(
+        stage,
+        &miter,
+        &adds,
+        &[3, 4, 5, 6],
+        &[9, 8, 7, 6],
+    ));
     if allow_mul {
         let muls = vec![cmd(Opcode::Mul, 0, 1)];
         // Non-zero operands on both sides: timing-equal, so these are
         // legitimate positive examples even though MUL is unsafe.
-        examples.extend(gather_examples(stage, &miter, &muls, &[3, 4, 1, 1], &[9, 8, 1, 1]));
+        examples.extend(gather_examples(
+            stage,
+            &miter,
+            &muls,
+            &[3, 4, 1, 1],
+            &[9, 8, 1, 1],
+        ));
     }
 
     // InSafeSet patterns over the 2-bit opcode alphabet.
-    let patterns: Vec<Pattern> = allowed.iter().map(|&v| Pattern { mask: 0x3, value: v }).collect();
+    let patterns: Vec<Pattern> = allowed
+        .iter()
+        .map(|&v| Pattern {
+            mask: 0x3,
+            value: v,
+        })
+        .collect();
     let miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
     let mut engine = SerialEngine::new(miter.netlist(), miner, EngineConfig::default());
     let prop = Predicate::eq(miter.left(stage.valid), miter.right(stage.valid));

@@ -9,18 +9,18 @@
 //! learning on the *re-parsed* design — demonstrating that the whole
 //! pipeline works from the external format, as the paper's tool does.
 
+use hh_suite::hhoudini::mine::CoiMiner;
+use hh_suite::hhoudini::{EngineConfig, SerialEngine};
 use hh_suite::isa::asm;
+use hh_suite::isa::{InstrClass, Mnemonic, ALL_MNEMONICS};
 use hh_suite::netlist::btor2::{parse_btor2, to_btor2};
 use hh_suite::netlist::eval::{step, InputValues, StateValues};
 use hh_suite::netlist::miter::Miter;
 use hh_suite::netlist::Bv;
 use hh_suite::smt::Predicate;
-use hh_suite::uarch::rocketlite::rocket_lite;
-use hh_suite::hhoudini::mine::CoiMiner;
-use hh_suite::hhoudini::{EngineConfig, SerialEngine};
-use hh_suite::veloct::{examples::generate_examples, instruction_patterns};
-use hh_suite::isa::{InstrClass, ALL_MNEMONICS, Mnemonic};
 use hh_suite::uarch::decode::matches_pattern;
+use hh_suite::uarch::rocketlite::rocket_lite;
+use hh_suite::veloct::{examples::generate_examples, instruction_patterns};
 
 fn main() {
     let mut design = rocket_lite(16);
@@ -35,7 +35,14 @@ fn main() {
     assert_eq!(reparsed.num_states(), design.netlist.num_states());
 
     // Cycle-equivalence check over a short program.
-    let prog = [asm::addi(1, 0, 7).encode(), asm::add(3, 1, 1).encode(), 0, 0, 0, 0];
+    let prog = [
+        asm::addi(1, 0, 7).encode(),
+        asm::add(3, 1, 1).encode(),
+        0,
+        0,
+        0,
+        0,
+    ];
     let mut s_a = StateValues::initial(&design.netlist);
     let mut s_b = StateValues::initial(&reparsed);
     for w in prog {

@@ -12,13 +12,13 @@
 //! XOR-only command alphabet safe, and show that admitting the reduction
 //! command is correctly rejected.
 
+use hh_suite::hhoudini::mine::CoiMiner;
+use hh_suite::hhoudini::{EngineConfig, SerialEngine};
 use hh_suite::netlist::eval::StateValues;
 use hh_suite::netlist::miter::Miter;
 use hh_suite::netlist::{Bv, Netlist, StateId};
 use hh_suite::sim::{product_states, simulate};
 use hh_suite::smt::{Pattern, Predicate};
-use hh_suite::hhoudini::mine::CoiMiner;
-use hh_suite::hhoudini::{EngineConfig, SerialEngine};
 
 const W: u32 = 16;
 
@@ -72,10 +72,7 @@ fn build() -> Accel {
 
     let xored = n.xor(datan, keyn);
     let data_after_reduce = n.ite(reducing, sub, datan);
-    let data_next = {
-        
-        n.ite(start_xor, xored, data_after_reduce)
-    };
+    let data_next = { n.ite(start_xor, xored, data_after_reduce) };
     n.set_next(data, data_next);
 
     // done pulses when an operation completes.
@@ -101,7 +98,11 @@ fn learn(accel: &Accel, allow_reduce: bool) {
     let mut miter = Miter::build(&accel.netlist);
     // Σ: restrict the command alphabet.
     let cmd = miter.netlist().find_input("cmd").unwrap();
-    let allowed: Vec<u64> = if allow_reduce { vec![0, 1, 2] } else { vec![0, 1] };
+    let allowed: Vec<u64> = if allow_reduce {
+        vec![0, 1, 2]
+    } else {
+        vec![0, 1]
+    };
     let terms: Vec<_> = allowed
         .iter()
         .map(|&v| miter.netlist_mut().eq_const(cmd, v))
@@ -148,7 +149,11 @@ fn learn(accel: &Accel, allow_reduce: bool) {
         examples.extend(ps);
     }
 
-    let label = if allow_reduce { "xor+reduce" } else { "xor-only" };
+    let label = if allow_reduce {
+        "xor+reduce"
+    } else {
+        "xor-only"
+    };
     if examples.is_empty() {
         // Every paired execution diverged: generation-time refutation
         // (Def. 4.8 — no positive examples exist for this alphabet).
@@ -157,7 +162,10 @@ fn learn(accel: &Accel, allow_reduce: bool) {
     }
     let patterns: Vec<Pattern> = allowed
         .iter()
-        .map(|&v| Pattern { mask: 0x3, value: v })
+        .map(|&v| Pattern {
+            mask: 0x3,
+            value: v,
+        })
         .collect();
     let miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
     let mut engine = SerialEngine::new(miter.netlist(), miner, EngineConfig::default());

@@ -4,8 +4,8 @@
 use hh_suite::isa::{InstrClass, Mnemonic, ALL_MNEMONICS};
 use hh_suite::netlist::miter::Miter;
 use hh_suite::uarch::boomlite::{boom_lite, BoomVariant};
-use hh_suite::uarch::rocketlite::rocket_lite;
 use hh_suite::uarch::decode::matches_pattern;
+use hh_suite::uarch::rocketlite::rocket_lite;
 use hh_suite::veloct::{default_candidates, instruction_patterns, Veloct, VeloctConfig};
 
 fn fast_config() -> VeloctConfig {
@@ -34,8 +34,16 @@ fn rocketlite_safe_set_matches_table2() {
     for m in alu_set() {
         assert!(safe.contains(&m), "{m} should be safe on RocketLite");
     }
-    for m in [Mnemonic::Mul, Mnemonic::Mulh, Mnemonic::Mulhu, Mnemonic::Mulhsu] {
-        assert!(!safe.contains(&m), "{m} must be unsafe on RocketLite (zero-skip)");
+    for m in [
+        Mnemonic::Mul,
+        Mnemonic::Mulh,
+        Mnemonic::Mulhu,
+        Mnemonic::Mulhsu,
+    ] {
+        assert!(
+            !safe.contains(&m),
+            "{m} must be unsafe on RocketLite (zero-skip)"
+        );
     }
     assert!(!safe.contains(&Mnemonic::Lw));
     assert!(!safe.contains(&Mnemonic::Sw));
@@ -49,10 +57,18 @@ fn boomlite_safe_set_matches_table2() {
     let design = boom_lite(BoomVariant::Small, 16);
     let report = Veloct::with_config(&design, fast_config()).classify(&default_candidates());
     let safe = &report.safe;
-    for m in [Mnemonic::Mul, Mnemonic::Mulh, Mnemonic::Mulhu, Mnemonic::Mulhsu] {
+    for m in [
+        Mnemonic::Mul,
+        Mnemonic::Mulh,
+        Mnemonic::Mulhu,
+        Mnemonic::Mulhsu,
+    ] {
         assert!(safe.contains(&m), "{m} should be safe on BoomLite");
     }
-    assert!(!safe.contains(&Mnemonic::Auipc), "auipc must be rejected on BoomLite");
+    assert!(
+        !safe.contains(&Mnemonic::Auipc),
+        "auipc must be rejected on BoomLite"
+    );
     assert!(!safe.contains(&Mnemonic::Lw));
     assert!(!safe.contains(&Mnemonic::Sw));
     for m in alu_set() {
@@ -126,7 +142,10 @@ fn boom_variants_scale_consistently() {
         let inv = report.invariant.expect("invariant").len();
         let tasks = report.stats.num_tasks();
         assert!(inv > prev_inv, "invariant must grow: {prev_inv} -> {inv}");
-        assert!(tasks > prev_tasks, "tasks must grow: {prev_tasks} -> {tasks}");
+        assert!(
+            tasks > prev_tasks,
+            "tasks must grow: {prev_tasks} -> {tasks}"
+        );
         assert!(report.safe.contains(&Mnemonic::Mul));
         assert!(!report.safe.contains(&Mnemonic::Auipc));
         prev_inv = inv;
@@ -177,6 +196,12 @@ fn unsafe_proposal_fails_via_learning() {
     set.push(Mnemonic::Mul);
     let report = v.learn(&set);
     assert!(report.invariant.is_none());
-    assert!(report.divergence.is_none(), "nonzero operands hide the fast path");
-    assert!(report.stats.backtracks > 0, "failure must involve backtracking");
+    assert!(
+        report.divergence.is_none(),
+        "nonzero operands hide the fast path"
+    );
+    assert!(
+        report.stats.backtracks > 0,
+        "failure must involve backtracking"
+    );
 }

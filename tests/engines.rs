@@ -9,8 +9,8 @@ use hh_suite::isa::{InstrClass, Mnemonic, ALL_MNEMONICS};
 use hh_suite::netlist::miter::Miter;
 use hh_suite::smt::{EncodeScope, Predicate};
 use hh_suite::uarch::boomlite::{boom_lite, BoomVariant};
-use hh_suite::uarch::rocketlite::rocket_lite;
 use hh_suite::uarch::decode::matches_pattern;
+use hh_suite::uarch::rocketlite::rocket_lite;
 use hh_suite::uarch::Design;
 use hh_suite::veloct::examples::generate_examples;
 use hh_suite::veloct::{instruction_patterns, BaselineKind, Veloct, VeloctConfig};
@@ -27,7 +27,11 @@ fn alu_set() -> Vec<Mnemonic> {
 fn setup(
     design: &Design,
     safe: &[Mnemonic],
-) -> (Miter, Vec<hh_suite::netlist::eval::StateValues>, Vec<Predicate>) {
+) -> (
+    Miter,
+    Vec<hh_suite::netlist::eval::StateValues>,
+    Vec<Predicate>,
+) {
     let mut miter = Miter::build(&design.netlist);
     let patterns = instruction_patterns(safe);
     let instr = miter.netlist().find_input(&design.instr_input).unwrap();
@@ -69,7 +73,11 @@ fn serial_and_parallel_agree_on_rocketlite() {
 
     assert!(inv_s.verify_monolithic(miter.netlist()));
     assert!(inv_p.verify_monolithic(miter.netlist()));
-    assert_eq!(inv_s.preds(), inv_p.preds(), "engines must find the same invariant");
+    assert_eq!(
+        inv_s.preds(),
+        inv_p.preds(),
+        "engines must find the same invariant"
+    );
 }
 
 #[test]
@@ -79,8 +87,7 @@ fn serial_and_parallel_agree_on_boomlite() {
         .iter()
         .copied()
         .filter(|m| {
-            (m.class() == InstrClass::Alu && *m != Mnemonic::Auipc)
-                || m.class() == InstrClass::Mul
+            (m.class() == InstrClass::Alu && *m != Mnemonic::Auipc) || m.class() == InstrClass::Mul
         })
         .collect();
     let (miter, examples, props) = setup(&design, &safe);
@@ -100,13 +107,98 @@ fn serial_and_parallel_agree_on_boomlite() {
     // differ by solver nondeterminism across wave orderings, but sizes
     // should be close.
     let (a, b) = (inv_s.len(), inv_p.len());
-    assert!(a.abs_diff(b) <= a.max(b) / 2, "sizes too different: {a} vs {b}");
+    assert!(
+        a.abs_diff(b) <= a.max(b) / 2,
+        "sizes too different: {a} vs {b}"
+    );
+}
+
+#[test]
+fn streaming_engine_is_deterministic_across_thread_counts() {
+    // The streaming scheduler commits results in issue order, so the learned
+    // invariant — and the task DAG itself — must be identical for any worker
+    // count, and identical to the serial engine's.
+    let design = rocket_lite(16);
+    let safe = alu_set();
+    let (miter, examples, props) = setup(&design, &safe);
+    let patterns = instruction_patterns(&safe);
+
+    let miner_s = CoiMiner::new(&miter, &examples, Some(patterns.clone()), vec![]);
+    let mut serial = SerialEngine::new(miter.netlist(), miner_s, EngineConfig::default());
+    let inv_s = serial.learn(&props).expect("serial invariant");
+    assert!(inv_s.verify_monolithic(miter.netlist()));
+
+    let mut task_preds: Option<Vec<_>> = None;
+    for threads in [1, 2, 4] {
+        let miner = CoiMiner::new(&miter, &examples, Some(patterns.clone()), vec![]);
+        let mut par = ParallelEngine::new(miter.netlist(), miner, EngineConfig::default(), threads);
+        let inv_p = par.learn(&props).expect("parallel invariant");
+        assert_eq!(
+            inv_s.preds(),
+            inv_p.preds(),
+            "{threads}-thread streaming engine must match serial"
+        );
+        // The committed task order (discovery order) must also be stable.
+        let preds: Vec<_> = par.stats().tasks.iter().map(|t| t.pred).collect();
+        match &task_preds {
+            None => task_preds = Some(preds),
+            Some(expect) => assert_eq!(
+                expect, &preds,
+                "task commit order must not depend on thread count"
+            ),
+        }
+    }
+}
+
+#[test]
+fn session_cache_ablation_preserves_results_and_saves_encoding() {
+    // With sessions off every query re-blasts its cone; with sessions on,
+    // retries after backtracking reuse the live encoding. The invariant must
+    // be identical either way, and the cached run must report reuse whenever
+    // any retry happened.
+    let design = rocket_lite(16);
+    let safe = alu_set();
+    let (miter, examples, props) = setup(&design, &safe);
+    let patterns = instruction_patterns(&safe);
+
+    let run = |sessions: bool| {
+        let miner = CoiMiner::new(&miter, &examples, Some(patterns.clone()), vec![]);
+        let cfg = EngineConfig {
+            sessions,
+            ..EngineConfig::default()
+        };
+        let mut eng = SerialEngine::new(miter.netlist(), miner, cfg);
+        let inv = eng.learn(&props).expect("invariant");
+        let stats = eng.stats();
+        (
+            inv,
+            stats.session_hits,
+            stats.vars_saved + stats.clauses_saved,
+            stats.backtracks,
+        )
+    };
+    let (inv_on, hits_on, saved_on, backtracks) = run(true);
+    let (inv_off, hits_off, saved_off, _) = run(false);
+    assert_eq!(
+        inv_on.preds(),
+        inv_off.preds(),
+        "sessions must not change the result"
+    );
+    assert_eq!(hits_off, 0, "disabled cache must never report hits");
+    assert_eq!(saved_off, 0);
+    if backtracks > 0 {
+        assert!(hits_on > 0, "retries must hit the session cache");
+        assert!(saved_on > 0, "session hits must avoid re-encoding work");
+    }
 }
 
 #[test]
 fn task_dag_exhibits_parallelism() {
     let design = boom_lite(BoomVariant::Small, 16);
-    let safe: Vec<Mnemonic> = alu_set().into_iter().filter(|&m| m != Mnemonic::Auipc).collect();
+    let safe: Vec<Mnemonic> = alu_set()
+        .into_iter()
+        .filter(|&m| m != Mnemonic::Auipc)
+        .collect();
     let (miter, examples, props) = setup(&design, &safe);
     let patterns = instruction_patterns(&safe);
     let miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
@@ -169,7 +261,9 @@ fn baselines_agree_with_hhoudini_on_provability() {
     assert!(h.invariant.is_some());
     for kind in [BaselineKind::Houdini, BaselineKind::Sorcar] {
         let b = v.learn_baseline(&safe, kind, &budget);
-        let inv = b.invariant.unwrap_or_else(|| panic!("{kind:?} must also prove the set"));
+        let inv = b
+            .invariant
+            .unwrap_or_else(|| panic!("{kind:?} must also prove the set"));
         // The baselines learn a (possibly larger) invariant over the same
         // pool; H-Houdini's property-directed one should be no larger.
         assert!(h.invariant.as_ref().unwrap().len() <= inv.len());

@@ -24,8 +24,7 @@ fn boom_safe_set() -> Vec<Mnemonic> {
         .iter()
         .copied()
         .filter(|m| {
-            (m.class() == InstrClass::Alu && *m != Mnemonic::Auipc)
-                || m.class() == InstrClass::Mul
+            (m.class() == InstrClass::Alu && *m != Mnemonic::Auipc) || m.class() == InstrClass::Mul
         })
         .collect()
 }
@@ -131,11 +130,20 @@ fn value_set_mining_replaces_pattern_annotations() {
         .expect("value-set mining must discover the opcode restriction");
     assert!(inv.verify_monolithic(miter.netlist()));
     // The invariant must contain an auto-mined EqConstSet over the opcode.
-    let has_set = inv
-        .preds()
-        .iter()
-        .any(|p| matches!(p, Predicate::InSet { label: hh_suite::smt::SetLabel::EqConstSet, .. }));
-    assert!(has_set, "expected an auto-mined EqConstSet:\n{}", inv.describe(miter.netlist()));
+    let has_set = inv.preds().iter().any(|p| {
+        matches!(
+            p,
+            Predicate::InSet {
+                label: hh_suite::smt::SetLabel::EqConstSet,
+                ..
+            }
+        )
+    });
+    assert!(
+        has_set,
+        "expected an auto-mined EqConstSet:\n{}",
+        inv.describe(miter.netlist())
+    );
 
     // Control: without value-set mining (and without patterns) learning
     // must fail — nothing can restrict the opcode.

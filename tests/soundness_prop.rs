@@ -33,7 +33,12 @@ struct RegRecipe {
 fn arb_design() -> impl Strategy<Value = Vec<RegRecipe>> {
     proptest::collection::vec(
         (0u8..6, any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(op, a, b, use_input)| {
-            RegRecipe { op, a, b, use_input }
+            RegRecipe {
+                op,
+                a,
+                b,
+                use_input,
+            }
         }),
         NREGS,
     )
@@ -164,9 +169,20 @@ fn zz_generator_produces_nontrivial_mix() {
     // pipeline to guarantee both outcomes are exercised at least once.
     // Case 1: r0 holds itself -> provable.
     let mut provable = vec![
-        RegRecipe { op: 5, a: 0, b: 0, use_input: false }; NREGS
+        RegRecipe {
+            op: 5,
+            a: 0,
+            b: 0,
+            use_input: false
+        };
+        NREGS
     ];
-    provable[0] = RegRecipe { op: 5, a: 0, b: 0, use_input: false };
+    provable[0] = RegRecipe {
+        op: 5,
+        a: 0,
+        b: 0,
+        use_input: false,
+    };
     let base = build(&provable);
     let miter = Miter::build(&base);
     let secrets: Vec<(u64, u64)> = vec![(1, 2); NREGS - 1];
@@ -175,14 +191,21 @@ fn zz_generator_produces_nontrivial_mix() {
     let prop = Predicate::eq(miter.left(r0), miter.right(r0));
     let miner = CoiMiner::new(&miter, &examples, None, vec![]);
     let mut engine = SerialEngine::new(miter.netlist(), miner, EngineConfig::default());
-    let inv = engine.learn(std::slice::from_ref(&prop)).expect("self-holding r0 is provable");
+    let inv = engine
+        .learn(std::slice::from_ref(&prop))
+        .expect("self-holding r0 is provable");
     assert!(inv.verify_monolithic(miter.netlist()));
 
     // Case 2: r0 <- r1 (a secret) with equal-on-trace but unprovable
     // in general: r0' = r1 and the example has r1 unequal -> property
     // violated at step 1, so the pair is rejected by the generator.
     let mut leaky = provable;
-    leaky[0] = RegRecipe { op: 5, a: 1, b: 0, use_input: false };
+    leaky[0] = RegRecipe {
+        op: 5,
+        a: 1,
+        b: 0,
+        use_input: false,
+    };
     let base = build(&leaky);
     let miter = Miter::build(&base);
     assert!(example_pair(&base, &miter, &secrets, &[0, 1, 2]).is_none());

@@ -1,0 +1,554 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` used by
+//! this workspace's property tests. The build environment has no crates.io
+//! access, so the workspace vendors the surface it needs:
+//!
+//! * the [`proptest!`] macro (multiple `#[test]` fns, `name in strategy` and
+//!   `name: Type` parameters, optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`],
+//! * the [`strategy::Strategy`] trait with `prop_map`, [`strategy::Just`],
+//!   tuple and integer-range strategies, `any::<T>()` and
+//!   [`collection::vec`].
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case panics
+//! with the case index and the generated inputs' debug output is left to the
+//! assertion message. Generation is fully deterministic (fixed seed derived
+//! from the case index), so failures reproduce exactly across runs.
+
+pub mod test_runner {
+    /// Error produced by a single test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property does not hold.
+        Fail(String),
+        /// Input rejected by `prop_assume!` — the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Test-runner configuration (only the `cases` knob is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic xoshiro256** generator seeded per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator for case number `case` (deterministic across runs).
+        pub fn for_case(case: u64) -> TestRng {
+            let mut x = 0x9E3779B97F4A7C15u64 ^ case.wrapping_mul(0xA24BAED4963EE407);
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values (no shrinking in this stand-in).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> std::fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    #[derive(Debug)]
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given alternatives.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "empty prop_oneof!");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty)*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi - lo + 1;
+                    (lo + if span == 0 { rng.next_u64() } else { rng.below(span) }) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8 u16 u32 usize);
+
+    impl Strategy for core::ops::Range<u64> {
+        type Value = u64;
+        fn new_value(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<u64> {
+        type Value = u64;
+        fn new_value(&self, rng: &mut TestRng) -> u64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            if lo == 0 && hi == u64::MAX {
+                return rng.next_u64();
+            }
+            lo + rng.below(hi - lo + 1)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical uniform strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty)*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The canonical strategy of an [`Arbitrary`] type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (uniform over the value space).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing vectors of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors with element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            __l
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports `name in strategy` and `name: Type`
+/// parameters (the latter uses `any::<Type>()`), an optional leading
+/// `#![proptest_config(expr)]`, and multiple test functions per invocation.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg) ($body) () () $($params)*);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Terminal: all parameters munched — emit the case loop.
+    (($cfg:expr) ($body:block) ($($pat:ident)*) ($($strat:expr;)*)) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        for __case in 0..(__config.cases as u64) {
+            let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+            $(
+                let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+            )*
+            let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::std::result::Result::Ok(()) })();
+            match __outcome {
+                ::std::result::Result::Ok(()) => {}
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!("property failed at case {}: {}", __case, __msg)
+                }
+            }
+        }
+    }};
+    // `name in strategy` (more parameters follow).
+    (($cfg:expr) ($body:block) ($($pat:ident)*) ($($strat:expr;)*) $name:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) ($body) ($($pat)* $name) ($($strat;)* $s;) $($rest)*)
+    };
+    // `name in strategy` (final parameter).
+    (($cfg:expr) ($body:block) ($($pat:ident)*) ($($strat:expr;)*) $name:ident in $s:expr) => {
+        $crate::__proptest_case!(($cfg) ($body) ($($pat)* $name) ($($strat;)* $s;))
+    };
+    // `name: Type` (more parameters follow).
+    (($cfg:expr) ($body:block) ($($pat:ident)*) ($($strat:expr;)*) $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) ($body) ($($pat)* $name) ($($strat;)* $crate::arbitrary::any::<$ty>();) $($rest)*)
+    };
+    // `name: Type` (final parameter).
+    (($cfg:expr) ($body:block) ($($pat:ident)*) ($($strat:expr;)*) $name:ident : $ty:ty) => {
+        $crate::__proptest_case!(($cfg) ($body) ($($pat)* $name) ($($strat;)* $crate::arbitrary::any::<$ty>();))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mixed `in` and typed parameters, trailing comma.
+        #[test]
+        fn mixed_parameters(
+            v in crate::collection::vec(0u8..10, 1..5),
+            x: u8,
+            flag: bool,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            let _ = (x, flag);
+        }
+
+        #[test]
+        fn oneof_and_map(choice in prop_oneof![
+            (0u8..3).prop_map(|x| x as u32),
+            Just(99u32),
+            (10u32..20).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!(choice < 3 || choice == 99 || (11..21).contains(&choice));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "even after assume; n = {}", n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..10);
+        let mut r1 = crate::test_runner::TestRng::for_case(5);
+        let mut r2 = crate::test_runner::TestRng::for_case(5);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+}
