@@ -1,0 +1,150 @@
+//! Perf smoke check for CI: a quick-mode run of the incremental-session
+//! workload (no Criterion statistics) that **fails** when the session fast
+//! path regresses.
+//!
+//! ```text
+//! cargo run -p hh-bench --release --bin perf_smoke
+//! ```
+//!
+//! Two gates:
+//!
+//! * session reuse must answer the retry stream at least 1.5x faster than
+//!   rebuilding the cone encoding per query, and
+//! * `Solver::simplify()` must produce a measurable CNF reduction on the
+//!   query cone (fewer free variables or fewer live clauses).
+//!
+//! Results (including the before/after CNF sizes and the simplification
+//! counters) are written to `bench_results/perf_smoke.json`.
+
+use hh_bench::{all_targets, known_safe_set, prepare, secs, Report};
+use hh_smt::{abduct, AbductionConfig, AbductionSession, Predicate, TransitionEncoding};
+use hhoudini::mine::{CoiMiner, Miner};
+use hhoudini::PredicateStore;
+use std::time::Instant;
+
+/// First query + simulated backtracking retries, as in the Criterion bench.
+const RETRIES: usize = 4;
+/// Timed repetitions of each variant (quick mode; Criterion uses 20+).
+const ROUNDS: usize = 5;
+/// Minimum acceptable fresh/session time ratio.
+const MIN_SPEEDUP: f64 = 1.5;
+
+fn main() {
+    let targets = all_targets();
+    let rocket = &targets[0];
+    let safe = known_safe_set(rocket.name);
+    let (miter, examples, props, patterns) = prepare(&rocket.design, &safe, true);
+    let target = props[0].clone();
+    let mut miner = CoiMiner::new(&miter, &examples, Some(patterns), vec![]);
+    let mut store = PredicateStore::new();
+    let ids = miner.mine(&target, &mut store);
+    let cands: Vec<Predicate> = store.resolve(&ids);
+    assert!(cands.len() > RETRIES, "candidate pool too small to shrink");
+    let config = AbductionConfig::paper_default();
+
+    // Correctness first: session answers must match fresh queries.
+    let mut session = AbductionSession::new(miter.netlist(), target.clone(), config.clone());
+    for k in 0..RETRIES {
+        let fresh = abduct(miter.netlist(), &target, &cands[k..], &config);
+        let reused = session.solve(&cands[k..]);
+        assert_eq!(fresh.abduct, reused.abduct, "retry {k} diverged");
+    }
+    drop(session);
+
+    let mut fresh_s = 0.0;
+    let mut session_s = 0.0;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for k in 0..RETRIES {
+            let r = abduct(miter.netlist(), &target, &cands[k..], &config);
+            std::hint::black_box(r.abduct);
+        }
+        fresh_s += secs(t.elapsed());
+        let t = Instant::now();
+        let mut s = AbductionSession::new(miter.netlist(), target.clone(), config.clone());
+        for k in 0..RETRIES {
+            let r = s.solve(&cands[k..]);
+            std::hint::black_box(r.abduct);
+        }
+        session_s += secs(t.elapsed());
+    }
+    let speedup = fresh_s / session_s;
+
+    // CNF reduction on the query cone: blast once, simplify, compare.
+    let mut enc = TransitionEncoding::new(miter.netlist());
+    let p_now = target.encode_current(&mut enc);
+    enc.assert_lit(p_now);
+    let p_next = target.encode_next(&mut enc);
+    enc.assert_lit(!p_next);
+    for c in &cands {
+        let l = c.encode_current(&mut enc);
+        enc.cnf_mut().solver_mut().freeze(l.var());
+    }
+    let word = enc.simp_stats();
+    let solver = enc.cnf_mut().solver_mut();
+    let before = (solver.num_free_vars(), solver.num_live_clauses());
+    assert!(solver.simplify(), "query cone must not be trivially unsat");
+    let after = (solver.num_free_vars(), solver.num_live_clauses());
+    let sat = solver.stats();
+
+    println!("Perf smoke — incremental sessions + simplification");
+    println!("  fresh   {fresh_s:.3}s for {ROUNDS}x{RETRIES} queries");
+    println!("  session {session_s:.3}s for {ROUNDS}x{RETRIES} queries");
+    println!("  speedup {speedup:.2}x (gate: >= {MIN_SPEEDUP}x)");
+    println!(
+        "  cnf     vars {} -> {}, clauses {} -> {}",
+        before.0, after.0, before.1, after.1
+    );
+    println!(
+        "  sat     BVE {}, subsumed {}, strengthened {}, probed {}",
+        sat.eliminated_vars, sat.subsumed_clauses, sat.strengthened_lits, sat.probed_units
+    );
+    println!(
+        "  word    folds {}, rewrites {}, strash hits {}",
+        word.const_folds, word.rewrites, word.strash_hits
+    );
+
+    let mut report = Report::new();
+    let name = "RocketLite";
+    report.push("perf_smoke", name, "fresh_s", fresh_s, "s");
+    report.push("perf_smoke", name, "session_s", session_s, "s");
+    report.push("perf_smoke", name, "session_speedup", speedup, "x");
+    report.push("perf_smoke", name, "vars_before", before.0 as f64, "vars");
+    report.push("perf_smoke", name, "vars_after", after.0 as f64, "vars");
+    report.push(
+        "perf_smoke",
+        name,
+        "clauses_before",
+        before.1 as f64,
+        "clauses",
+    );
+    report.push(
+        "perf_smoke",
+        name,
+        "clauses_after",
+        after.1 as f64,
+        "clauses",
+    );
+    for (key, value, unit) in [
+        ("sat_eliminated_vars", sat.eliminated_vars, "vars"),
+        ("sat_subsumed_clauses", sat.subsumed_clauses, "clauses"),
+        ("sat_strengthened_lits", sat.strengthened_lits, "lits"),
+        ("sat_probed_units", sat.probed_units, "units"),
+        ("word_const_folds", word.const_folds, "nodes"),
+        ("word_rewrites", word.rewrites, "nodes"),
+        ("word_strash_hits", word.strash_hits, "nodes"),
+    ] {
+        report.push("perf_smoke", name, key, value as f64, unit);
+    }
+    report.finish("perf_smoke");
+
+    assert!(
+        after.0 < before.0 || after.1 < before.1,
+        "simplify produced no CNF reduction: {before:?} -> {after:?}"
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "session-reuse speedup regressed: {speedup:.2}x < {MIN_SPEEDUP}x"
+    );
+    println!("\nPerf smoke passed.");
+}

@@ -113,6 +113,20 @@ fn main() {
         );
         report.push("speedup", t.name, "encode_s", secs(s.encode_time), "s");
         report.push("speedup", t.name, "solve_s", secs(s.solve_time), "s");
+        // Simplification telemetry: SAT inprocessing (BVE / subsumption /
+        // probing) and word-level pre-blast simplification work.
+        for (key, value, unit) in [
+            ("sat_simplifies", s.sat_simplifies, "passes"),
+            ("sat_eliminated_vars", s.sat_eliminated_vars, "vars"),
+            ("sat_subsumed_clauses", s.sat_subsumed_clauses, "clauses"),
+            ("sat_strengthened_lits", s.sat_strengthened_lits, "lits"),
+            ("sat_probed_units", s.sat_probed_units, "units"),
+            ("word_const_folds", s.word_const_folds, "nodes"),
+            ("word_rewrites", s.word_rewrites, "nodes"),
+            ("word_strash_hits", s.word_strash_hits, "nodes"),
+        ] {
+            report.push("speedup", t.name, key, value as f64, unit);
+        }
         factors.push(f_h.min(f_s));
     }
     // Shape: the advantage grows with design size.

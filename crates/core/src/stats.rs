@@ -64,6 +64,22 @@ pub struct Stats {
     pub encode_time: Duration,
     /// Total time spent inside SAT solving (including minimisation probes).
     pub solve_time: Duration,
+    /// SAT inprocessing passes run across all abduction queries.
+    pub sat_simplifies: u64,
+    /// Variables removed by bounded variable elimination.
+    pub sat_eliminated_vars: u64,
+    /// Clauses deleted by backward subsumption.
+    pub sat_subsumed_clauses: u64,
+    /// Literals removed by self-subsuming resolution.
+    pub sat_strengthened_lits: u64,
+    /// Top-level units found by failed-literal probing.
+    pub sat_probed_units: u64,
+    /// Word-level constant folds performed by the blaster's simplifier.
+    pub word_const_folds: u64,
+    /// Word-level algebraic rewrites performed by the blaster's simplifier.
+    pub word_rewrites: u64,
+    /// Structural-hashing merges performed by the blaster's simplifier.
+    pub word_strash_hits: u64,
 }
 
 impl Stats {
@@ -170,6 +186,14 @@ impl Stats {
         }
         self.encode_time += t.encode_time;
         self.solve_time += t.solve_time;
+        self.sat_simplifies += t.simplifies;
+        self.sat_eliminated_vars += t.eliminated_vars;
+        self.sat_subsumed_clauses += t.subsumed_clauses;
+        self.sat_strengthened_lits += t.strengthened_lits;
+        self.sat_probed_units += t.probed_units;
+        self.word_const_folds += t.const_folds;
+        self.word_rewrites += t.rewrites;
+        self.word_strash_hits += t.strash_hits;
     }
 
     /// Fraction of abduction queries served by a live session (0 when no

@@ -17,23 +17,49 @@ pub struct Cnf {
     pub clauses: Vec<Vec<Lit>>,
 }
 
-/// Errors produced by [`parse_dimacs`].
+/// Errors produced by [`parse_dimacs`]. Every variant carries the 1-based
+/// line number the problem was found on (0 when the input ended before the
+/// expected content appeared, e.g. a missing header).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseDimacsError {
     /// The `p cnf <vars> <clauses>` header is missing or malformed.
-    BadHeader(String),
+    BadHeader {
+        /// 1-based line of the offending header, or 0 if it never appeared.
+        line: usize,
+        /// The offending header text.
+        text: String,
+    },
     /// A token was not an integer literal.
-    BadToken(String),
+    BadToken {
+        /// 1-based line containing the token.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
     /// A literal refers to a variable beyond the header's variable count.
-    VarOutOfRange(i64),
+    VarOutOfRange {
+        /// 1-based line containing the literal.
+        line: usize,
+        /// The out-of-range literal as written.
+        literal: i64,
+    },
 }
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseDimacsError::BadHeader(s) => write!(f, "bad DIMACS header: {s}"),
-            ParseDimacsError::BadToken(s) => write!(f, "bad DIMACS token: {s}"),
-            ParseDimacsError::VarOutOfRange(v) => write!(f, "variable out of range: {v}"),
+            ParseDimacsError::BadHeader { line: 0, text } => {
+                write!(f, "bad DIMACS header: {text}")
+            }
+            ParseDimacsError::BadHeader { line, text } => {
+                write!(f, "line {line}: bad DIMACS header: {text}")
+            }
+            ParseDimacsError::BadToken { line, token } => {
+                write!(f, "line {line}: bad DIMACS token: {token}")
+            }
+            ParseDimacsError::VarOutOfRange { line, literal } => {
+                write!(f, "line {line}: variable out of range: {literal}")
+            }
         }
     }
 }
@@ -42,18 +68,20 @@ impl std::error::Error for ParseDimacsError {}
 
 /// Parses DIMACS CNF text.
 ///
-/// Comment lines (`c ...`) are skipped; the clause count in the header is not
-/// enforced (many real files get it wrong).
+/// Comment lines (`c ...`) are skipped wherever they appear — including
+/// interleaved inside a clause body, which some generators emit. The clause
+/// count in the header is not enforced (many real files get it wrong).
 ///
 /// # Errors
 ///
 /// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens or
-/// out-of-range variables.
+/// out-of-range variables; every error reports the 1-based line number.
 pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
     let mut num_vars: Option<usize> = None;
     let mut clauses = Vec::new();
     let mut current: Vec<Lit> = Vec::new();
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1; // 1-based for error reporting
         let line = line.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
@@ -61,26 +89,35 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
         if line.starts_with('p') {
             let parts: Vec<&str> = line.split_whitespace().collect();
             if parts.len() != 4 || parts[1] != "cnf" {
-                return Err(ParseDimacsError::BadHeader(line.to_string()));
+                return Err(ParseDimacsError::BadHeader {
+                    line: lineno,
+                    text: line.to_string(),
+                });
             }
-            num_vars = Some(
-                parts[2]
-                    .parse()
-                    .map_err(|_| ParseDimacsError::BadHeader(line.to_string()))?,
-            );
+            num_vars = Some(parts[2].parse().map_err(|_| ParseDimacsError::BadHeader {
+                line: lineno,
+                text: line.to_string(),
+            })?);
             continue;
         }
-        let nv = num_vars.ok_or_else(|| ParseDimacsError::BadHeader("missing".into()))?;
+        let nv = num_vars.ok_or(ParseDimacsError::BadHeader {
+            line: lineno,
+            text: "clause before header".into(),
+        })?;
         for tok in line.split_whitespace() {
-            let n: i64 = tok
-                .parse()
-                .map_err(|_| ParseDimacsError::BadToken(tok.to_string()))?;
+            let n: i64 = tok.parse().map_err(|_| ParseDimacsError::BadToken {
+                line: lineno,
+                token: tok.to_string(),
+            })?;
             if n == 0 {
                 clauses.push(std::mem::take(&mut current));
             } else {
                 let v = n.unsigned_abs() as usize;
                 if v > nv {
-                    return Err(ParseDimacsError::VarOutOfRange(n));
+                    return Err(ParseDimacsError::VarOutOfRange {
+                        line: lineno,
+                        literal: n,
+                    });
                 }
                 current.push(Var::from_index(v - 1).lit(n > 0));
             }
@@ -90,7 +127,10 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
         clauses.push(current);
     }
     Ok(Cnf {
-        num_vars: num_vars.ok_or_else(|| ParseDimacsError::BadHeader("missing".into()))?,
+        num_vars: num_vars.ok_or(ParseDimacsError::BadHeader {
+            line: 0,
+            text: "missing".into(),
+        })?,
         clauses,
     })
 }
@@ -148,11 +188,11 @@ mod tests {
     fn rejects_bad_header() {
         assert!(matches!(
             parse_dimacs("p dnf 1 1\n1 0\n"),
-            Err(ParseDimacsError::BadHeader(_))
+            Err(ParseDimacsError::BadHeader { line: 1, .. })
         ));
         assert!(matches!(
             parse_dimacs("1 0\n"),
-            Err(ParseDimacsError::BadHeader(_))
+            Err(ParseDimacsError::BadHeader { line: 1, .. })
         ));
     }
 
@@ -160,7 +200,10 @@ mod tests {
     fn rejects_out_of_range_var() {
         assert!(matches!(
             parse_dimacs("p cnf 1 1\n2 0\n"),
-            Err(ParseDimacsError::VarOutOfRange(2))
+            Err(ParseDimacsError::VarOutOfRange {
+                line: 2,
+                literal: 2
+            })
         ));
     }
 
@@ -169,5 +212,44 @@ mod tests {
         let cnf = parse_dimacs("p cnf 2 1\n1 -2").unwrap();
         assert_eq!(cnf.clauses.len(), 1);
         assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn comments_interleaved_inside_clause_bodies() {
+        // A clause split across lines with comments in the middle must
+        // parse as one clause.
+        let text = "c top\np cnf 3 2\n1 -2\nc interrupting comment\n3 0\nc another\n-1\n2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 3);
+        assert_eq!(cnf.clauses[1].len(), 2);
+        let mut s = load_into_solver(&cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn errors_report_one_based_line_numbers() {
+        // Comments and blank lines still advance the line counter.
+        let text = "c one\n\np cnf 2 2\nc three-ish\n1 frog 0\n";
+        match parse_dimacs(text) {
+            Err(ParseDimacsError::BadToken { line, token }) => {
+                assert_eq!(line, 5);
+                assert_eq!(token, "frog");
+            }
+            other => panic!("expected BadToken, got {other:?}"),
+        }
+        let text = "p cnf 1 1\nc pad\nc pad\n-9 0\n";
+        match parse_dimacs(text) {
+            Err(ParseDimacsError::VarOutOfRange { line, literal }) => {
+                assert_eq!(line, 4);
+                assert_eq!(literal, -9);
+            }
+            other => panic!("expected VarOutOfRange, got {other:?}"),
+        }
+        let err = parse_dimacs("p cnf\n").unwrap_err();
+        assert!(err.to_string().starts_with("line 1:"), "{err}");
+        // A file with no header at all reports line 0 ("never appeared").
+        let err = parse_dimacs("c only comments\n").unwrap_err();
+        assert!(matches!(err, ParseDimacsError::BadHeader { line: 0, .. }));
     }
 }

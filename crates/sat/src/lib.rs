@@ -29,6 +29,12 @@
 //!   VSIDS + phase saving, Luby restarts, LBD-aware database reduction.
 //! * Incremental interface: interleave [`Solver::new_var`],
 //!   [`Solver::add_clause`] and [`Solver::solve_with_assumptions`] freely.
+//! * Assumption-safe inprocessing: [`Solver::simplify`] runs SatELite-style
+//!   subsumption, self-subsuming resolution, bounded variable elimination
+//!   (with model reconstruction) and failed-literal probing, automatically
+//!   at a conflict-count cadence; [`Solver::freeze`] protects variables
+//!   the caller will reference again, and clauses that mention an
+//!   eliminated variable transparently restore it.
 //! * [`minimize_core`] shrinks assumption cores to local minimality
 //!   (deletion-based), mirroring cvc5's `minimal-unsat-cores`.
 //! * A small DIMACS reader/writer in [`dimacs`] for debugging and tests.
@@ -37,9 +43,12 @@
 #![warn(missing_debug_implementations)]
 
 mod clause;
+mod elim;
 mod heap;
 mod lit;
 mod minimize;
+mod occurs;
+mod probe;
 mod solver;
 
 pub mod dimacs;

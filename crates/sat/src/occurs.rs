@@ -1,0 +1,76 @@
+//! Occurrence index for clause-database simplification.
+//!
+//! Maps each literal to the live original clauses containing it. The index
+//! is built afresh at the start of every [`crate::Solver::simplify`] run
+//! and discarded afterwards: inprocessing is the only consumer, and keeping
+//! it live during search would tax every clause addition for no benefit.
+
+use crate::clause::ClauseRef;
+use crate::lit::Lit;
+
+/// Literal-indexed occurrence lists over original clauses.
+#[derive(Debug)]
+pub(crate) struct OccIndex {
+    /// `lists[l.code()]` = refs of live original clauses containing `l`.
+    lists: Vec<Vec<ClauseRef>>,
+}
+
+impl OccIndex {
+    /// Creates an empty index able to hold `num_vars` variables.
+    pub(crate) fn new(num_vars: usize) -> OccIndex {
+        OccIndex {
+            lists: vec![Vec::new(); 2 * num_vars],
+        }
+    }
+
+    /// Records that clause `cref` contains literal `l`.
+    pub(crate) fn add(&mut self, l: Lit, cref: ClauseRef) {
+        self.lists[l.code()].push(cref);
+    }
+
+    /// Forgets that clause `cref` contains literal `l`.
+    pub(crate) fn remove(&mut self, l: Lit, cref: ClauseRef) {
+        self.lists[l.code()].retain(|&c| c != cref);
+    }
+
+    /// The clauses currently containing literal `l`.
+    pub(crate) fn list(&self, l: Lit) -> &[ClauseRef] {
+        &self.lists[l.code()]
+    }
+
+    /// Removes and returns the whole occurrence list of `l`.
+    pub(crate) fn take(&mut self, l: Lit) -> Vec<ClauseRef> {
+        std::mem::take(&mut self.lists[l.code()])
+    }
+
+    /// Number of clauses containing either literal of the variable behind
+    /// `l` (used to pick cheap elimination candidates).
+    pub(crate) fn var_occurrences(&self, l: Lit) -> usize {
+        self.lists[l.code()].len() + self.lists[(!l).code()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn add_remove_take() {
+        let mut occ = OccIndex::new(2);
+        let a = Var::from_index(0).positive();
+        let c0 = ClauseRef(0);
+        let c1 = ClauseRef(1);
+        occ.add(a, c0);
+        occ.add(a, c1);
+        occ.add(!a, c1);
+        assert_eq!(occ.list(a), &[c0, c1]);
+        assert_eq!(occ.var_occurrences(a), 3);
+        occ.remove(a, c0);
+        assert_eq!(occ.list(a), &[c1]);
+        let taken = occ.take(a);
+        assert_eq!(taken, vec![c1]);
+        assert!(occ.list(a).is_empty());
+        assert_eq!(occ.list(!a), &[c1]);
+    }
+}

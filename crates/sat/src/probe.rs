@@ -1,0 +1,58 @@
+//! Failed-literal probing at decision level 0.
+//!
+//! For each unassigned variable, both polarities are assumed in turn at a
+//! throwaway decision level and unit-propagated. A polarity whose
+//! propagation hits a conflict is a *failed literal*: its negation is
+//! implied by the formula and can be asserted at the top level, fixing the
+//! variable for good. If both polarities fail the formula is
+//! unsatisfiable.
+//!
+//! Probing runs first in a simplify round — it is the only phase that uses
+//! the (still valid) watch lists, and the units it finds make every later
+//! occurrence-index phase cheaper.
+
+use crate::lit::{LBool, Var};
+use crate::solver::Solver;
+
+/// Maximum probes (assumed literals) per simplify round; keeps the cost of
+/// a round bounded on large bit-blasted instances while staying
+/// deterministic (variables are probed in index order).
+const PROBE_BUDGET: usize = 8192;
+
+impl Solver {
+    /// Probes literals at level 0, asserting the negation of every failed
+    /// literal. Returns `false` if a top-level conflict was derived.
+    pub(crate) fn probe_failed_literals(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut budget = PROBE_BUDGET;
+        for idx in 0..self.num_vars() {
+            if budget == 0 {
+                break;
+            }
+            if self.eliminated[idx] {
+                continue;
+            }
+            let v = Var::from_index(idx);
+            for positive in [true, false] {
+                if self.assigns[idx] != LBool::Undef || budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                let p = v.lit(positive);
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(p, None);
+                let failed = self.propagate().is_some();
+                self.cancel_until(0);
+                if failed {
+                    self.stats.probed_units += 1;
+                    self.unchecked_enqueue(!p, None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}

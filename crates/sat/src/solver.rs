@@ -45,6 +45,12 @@ pub struct Config {
     pub learnt_size_factor: f64,
     /// Growth of the learnt-clause cap after each reduction.
     pub learnt_size_inc: f64,
+    /// Conflicts between automatic [`Solver::simplify`] runs at the start of
+    /// a solve call. `0` disables automatic inprocessing; explicit
+    /// `simplify()` calls still work. The cadence is keyed to the cumulative
+    /// conflict counter, which is a pure function of the query history, so
+    /// identical query sequences simplify identically (determinism).
+    pub simplify_interval: u64,
 }
 
 impl Default for Config {
@@ -55,6 +61,7 @@ impl Default for Config {
             restart_base: 100,
             learnt_size_factor: 1.0 / 3.0,
             learnt_size_inc: 1.1,
+            simplify_interval: 2000,
         }
     }
 }
@@ -74,6 +81,19 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// [`Solver::simplify`] runs (explicit or cadence-triggered).
+    pub simplifies: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Eliminated variables re-introduced because a later clause or
+    /// assumption referenced them.
+    pub restored_vars: u64,
+    /// Clauses deleted by backward subsumption.
+    pub subsumed_clauses: u64,
+    /// Literals removed by self-subsuming resolution (strengthening).
+    pub strengthened_lits: u64,
+    /// Unit literals derived by failed-literal probing.
+    pub probed_units: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -101,32 +121,44 @@ struct Watcher {
 /// ```
 #[derive(Debug)]
 pub struct Solver {
-    config: Config,
-    db: ClauseDb,
+    pub(crate) config: Config,
+    pub(crate) db: ClauseDb,
     /// Watch lists indexed by literal code: `watches[p]` holds clauses that
     /// must be inspected when `p` becomes true (they watch `!p`).
     watches: Vec<Vec<Watcher>>,
-    assigns: Vec<LBool>,
+    pub(crate) assigns: Vec<LBool>,
     /// Saved phase per variable, used as the decision polarity.
-    phase: Vec<bool>,
-    activity: Vec<f64>,
+    pub(crate) phase: Vec<bool>,
+    pub(crate) activity: Vec<f64>,
     var_inc: f64,
     clause_inc: f64,
-    order: VarOrderHeap,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    reason: Vec<Option<ClauseRef>>,
-    level: Vec<u32>,
+    pub(crate) order: VarOrderHeap,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) reason: Vec<Option<ClauseRef>>,
+    pub(crate) level: Vec<u32>,
     /// Scratch flags for conflict analysis, indexed by variable.
     seen: Vec<bool>,
     /// False iff a top-level conflict has been derived (formula is UNSAT
     /// regardless of assumptions).
-    ok: bool,
-    model: Vec<LBool>,
+    pub(crate) ok: bool,
+    pub(crate) model: Vec<LBool>,
     core: Vec<Lit>,
     max_learnts: f64,
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
+    /// Frozen variables are never eliminated by inprocessing; assumption
+    /// variables are frozen automatically, external code can use
+    /// [`Solver::freeze`] for variables it will reference later.
+    pub(crate) frozen: Vec<bool>,
+    /// Variables currently removed by bounded variable elimination.
+    pub(crate) eliminated: Vec<bool>,
+    /// Elimination record in elimination order: each entry holds the
+    /// eliminated variable and every original clause it occurred in, used
+    /// for model reconstruction and for restoring the variable on demand.
+    pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    /// Value of `stats.conflicts` at the last simplify run (cadence anchor).
+    last_simplify_conflicts: u64,
 }
 
 impl Default for Solver {
@@ -164,6 +196,10 @@ impl Solver {
             core: Vec::new(),
             max_learnts: 0.0,
             stats: SolverStats::default(),
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            last_simplify_conflicts: 0,
         }
     }
 
@@ -191,6 +227,8 @@ impl Solver {
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow_to(self.assigns.len());
@@ -220,16 +258,43 @@ impl Solver {
         }
         c.sort_unstable();
         c.dedup();
-        // Drop tautologies; filter literals already false at level 0.
+        // Filter literal values at level 0 first: a satisfied literal drops
+        // the whole clause, a falsified one is removed. Only then scan the
+        // survivors for tautology — the sort order is preserved by the
+        // filter, so `l` and `!l` are still adjacent if both remain.
         let mut filtered = Vec::with_capacity(c.len());
-        for (i, &l) in c.iter().enumerate() {
-            if i + 1 < c.len() && c[i + 1] == !l {
-                return true; // tautology: contains l and !l adjacent after sort
-            }
+        for &l in &c {
             match self.lit_value(l) {
                 LBool::True => return true, // already satisfied at level 0
                 LBool::False => {}
                 LBool::Undef => filtered.push(l),
+            }
+        }
+        for w in filtered.windows(2) {
+            if w[1] == !w[0] {
+                return true; // tautology: contains both l and !l
+            }
+        }
+        // If the clause mentions variables removed by variable elimination,
+        // bring them (and, transitively, anything their defining clauses
+        // mention) back before constraining them further: the eliminated
+        // form of the formula says nothing about such variables, so adding
+        // this clause as-is would be unsound. Restoring may propagate new
+        // top-level units, so re-filter afterwards.
+        if filtered.iter().any(|l| self.eliminated[l.var().index()]) {
+            let vars: Vec<Var> = filtered.iter().map(|l| l.var()).collect();
+            for v in vars {
+                if self.eliminated[v.index()] && !self.restore_var(v) {
+                    return false;
+                }
+            }
+            let unfiltered = std::mem::take(&mut filtered);
+            for l in unfiltered {
+                match self.lit_value(l) {
+                    LBool::True => return true,
+                    LBool::False => {}
+                    LBool::Undef => filtered.push(l),
+                }
             }
         }
         match filtered.len() {
@@ -271,6 +336,21 @@ impl Solver {
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
+        // Assumption variables must survive inprocessing: freeze them, and
+        // restore any that an earlier simplify round already eliminated.
+        for a in assumptions {
+            let v = a.var();
+            self.frozen[v.index()] = true;
+            if self.eliminated[v.index()] && !self.restore_var(v) {
+                return SolveResult::Unsat;
+            }
+        }
+        if self.config.simplify_interval > 0
+            && self.stats.conflicts - self.last_simplify_conflicts >= self.config.simplify_interval
+            && !self.simplify()
+        {
+            return SolveResult::Unsat;
+        }
         self.max_learnts = (self.db.len() as f64) * self.config.learnt_size_factor + 1000.0;
         let mut restarts: u64 = 0;
         loop {
@@ -278,6 +358,9 @@ impl Solver {
             match self.search(budget, assumptions) {
                 Some(result) => {
                     self.cancel_until(0);
+                    if result == SolveResult::Sat {
+                        self.extend_model();
+                    }
                     return result;
                 }
                 None => {
@@ -312,6 +395,96 @@ impl Solver {
     /// empty.
     pub fn unsat_core(&self) -> &[Lit] {
         &self.core
+    }
+
+    // ------------------------------------------------------------------
+    // Inprocessing
+    // ------------------------------------------------------------------
+
+    /// Marks `v` as frozen: inprocessing will never eliminate it, so its
+    /// literals remain valid in future clauses and assumptions.
+    ///
+    /// If `v` was already eliminated by an earlier [`Solver::simplify`] run
+    /// it is restored first. Returns `false` if restoring exposed a
+    /// top-level conflict (the formula is unsatisfiable).
+    pub fn freeze(&mut self, v: Var) -> bool {
+        self.frozen[v.index()] = true;
+        if self.eliminated[v.index()] {
+            self.restore_var(v)
+        } else {
+            self.ok
+        }
+    }
+
+    /// Whether `v` is currently frozen (protected from elimination).
+    pub fn is_frozen(&self, v: Var) -> bool {
+        self.frozen[v.index()]
+    }
+
+    /// Whether `v` is currently eliminated by inprocessing.
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index()]
+    }
+
+    /// Number of live (non-deleted) clauses, including learnt ones.
+    pub fn num_live_clauses(&self) -> usize {
+        self.db.live_refs().count()
+    }
+
+    /// Number of variables that are neither fixed at the top level nor
+    /// eliminated — the effective search space.
+    pub fn num_free_vars(&self) -> usize {
+        (0..self.num_vars())
+            .filter(|&i| self.assigns[i] == LBool::Undef && !self.eliminated[i])
+            .count()
+    }
+
+    /// Runs one round of SatELite-style simplification: top-level
+    /// propagation, failed-literal probing, backward subsumption,
+    /// self-subsuming resolution and bounded variable elimination with
+    /// model reconstruction.
+    ///
+    /// Must be called at decision level 0 (i.e. outside of a solve call).
+    /// Frozen variables are never eliminated; clauses of eliminated
+    /// variables are stored so [`Solver::model_value`] stays correct and
+    /// the variables can be restored if referenced again. Returns `false`
+    /// if simplification derived a top-level conflict.
+    pub fn simplify(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        self.stats.simplifies += 1;
+        self.last_simplify_conflicts = self.stats.conflicts;
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        // Top-level assignments need no reason clauses for conflict
+        // analysis; dropping them unlocks their antecedents for deletion.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.reason[v.index()] = None;
+        }
+        if !self.probe_failed_literals() {
+            return false;
+        }
+        if !self.simplify_with_occurrences() {
+            return false;
+        }
+        // The occurrence phases mutate clauses in place, so every watch
+        // list is stale: scrub all clauses against the (possibly larger)
+        // top-level assignment, then rebuild watches from scratch.
+        if !self.final_cleanup() {
+            return false;
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.reason[v.index()] = None;
+        }
+        self.rebuild_watches();
+        self.qhead = self.trail.len();
+        true
     }
 
     // ------------------------------------------------------------------
@@ -384,7 +557,7 @@ impl Solver {
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         loop {
             let v = self.order.pop_max(&self.activity)?;
-            if self.assigns[v.index()] == LBool::Undef {
+            if self.assigns[v.index()] == LBool::Undef && !self.eliminated[v.index()] {
                 return Some(v.lit(self.phase[v.index()]));
             }
         }
@@ -394,7 +567,7 @@ impl Solver {
     // Propagation
     // ------------------------------------------------------------------
 
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
@@ -472,11 +645,11 @@ impl Solver {
     }
 
     #[inline]
-    fn lit_value(&self, l: Lit) -> LBool {
+    pub(crate) fn lit_value(&self, l: Lit) -> LBool {
         self.assigns[l.var().index()].of_lit(l)
     }
 
-    fn unchecked_enqueue(&mut self, p: Lit, from: Option<ClauseRef>) {
+    pub(crate) fn unchecked_enqueue(&mut self, p: Lit, from: Option<ClauseRef>) {
         debug_assert_eq!(self.lit_value(p), LBool::Undef);
         let v = p.var().index();
         self.assigns[v] = LBool::from_bool(p.is_positive());
@@ -486,11 +659,11 @@ impl Solver {
     }
 
     #[inline]
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn cancel_until(&mut self, target_level: u32) {
+    pub(crate) fn cancel_until(&mut self, target_level: u32) {
         if self.decision_level() <= target_level {
             return;
         }
@@ -753,7 +926,7 @@ impl Solver {
         self.reason[first.var().index()] == Some(cref) && self.lit_value(first) == LBool::True
     }
 
-    fn rebuild_watches(&mut self) {
+    pub(crate) fn rebuild_watches(&mut self) {
         for w in &mut self.watches {
             w.clear();
         }
@@ -934,5 +1107,194 @@ mod tests {
         assert!(s.add_clause(&[a, a, b]));
         assert!(s.add_clause(&[a, !a])); // tautology, dropped
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn falsified_literals_filtered_before_tautology_scan() {
+        // After `a` is fixed false at level 0, the clause [a, !a, b] must
+        // still be recognised as a tautology (or equivalently satisfied by
+        // !a) and dropped without constraining `b`; the clause [a, b] must
+        // shrink to the unit [b].
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        assert!(s.add_clause(&[!a])); // fixes a = false at level 0
+        assert!(s.add_clause(&[a, !a, b])); // tautology despite a being false
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // b is unconstrained so far: force it through a filtered clause.
+        assert!(s.add_clause(&[a, b])); // a false -> unit b
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn clause_falsified_at_level_zero_reports_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        assert!(s.add_clause(&[!a]));
+        assert!(s.add_clause(&[!b]));
+        // Every literal already false at level 0: empty after filtering.
+        assert!(!s.add_clause(&[a, b]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn satisfied_literal_drops_clause_regardless_of_position() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        assert!(s.add_clause(&[a]));
+        // Satisfied at level 0 by `a`; must not create a unit on b.
+        assert!(s.add_clause(&[b, a]));
+        assert_eq!(s.solve_with_assumptions(&[!b]), SolveResult::Sat);
+        assert!(!s.model_value(b));
+    }
+
+    /// A chain a -> b -> c -> d where the middle variables are BVE fodder.
+    fn chain_solver() -> (Solver, Vec<Lit>) {
+        let mut s = Solver::new();
+        let vs: Vec<Lit> = (0..4).map(|_| s.new_var().positive()).collect();
+        for w in vs.windows(2) {
+            s.add_clause(&[!w[0], w[1]]);
+        }
+        (s, vs)
+    }
+
+    #[test]
+    fn simplify_eliminates_and_reconstructs_model() {
+        let (mut s, vs) = chain_solver();
+        s.freeze(vs[0].var());
+        s.freeze(vs[3].var());
+        assert!(s.simplify());
+        let eliminated: Vec<bool> = (0..4)
+            .map(|i| s.is_eliminated(Var::from_index(i)))
+            .collect();
+        assert!(!eliminated[0] && !eliminated[3], "frozen vars kept");
+        assert!(
+            eliminated[1] && eliminated[2],
+            "chain interior should be eliminated, got {eliminated:?}"
+        );
+        // The implication a -> d must survive as a resolvent...
+        assert_eq!(
+            s.solve_with_assumptions(&[vs[0], !vs[3]]),
+            SolveResult::Unsat
+        );
+        // ...and a model must extend to the eliminated middle variables in
+        // a way that satisfies the original chain clauses.
+        assert_eq!(s.solve_with_assumptions(&[vs[0]]), SolveResult::Sat);
+        for i in 0..3 {
+            assert!(
+                !s.model_value(vs[i]) || s.model_value(vs[i + 1]),
+                "original clause {} -> {} violated",
+                i,
+                i + 1
+            );
+        }
+        assert!(s.model_value(vs[0]));
+    }
+
+    #[test]
+    fn adding_clause_on_eliminated_var_restores_it() {
+        let (mut s, vs) = chain_solver();
+        s.freeze(vs[0].var());
+        s.freeze(vs[3].var());
+        assert!(s.simplify());
+        assert!(s.is_eliminated(vs[1].var()));
+        // New clause referencing the eliminated b: must restore b's
+        // defining clauses, not silently constrain a free variable.
+        assert!(s.add_clause(&[!vs[1]]));
+        assert!(!s.is_eliminated(vs[1].var()));
+        // b false and a -> b force a false.
+        assert_eq!(s.solve_with_assumptions(&[vs[0]]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.model_value(vs[0]));
+    }
+
+    #[test]
+    fn assumption_on_eliminated_var_restores_it() {
+        let (mut s, vs) = chain_solver();
+        s.freeze(vs[0].var());
+        s.freeze(vs[3].var());
+        assert!(s.simplify());
+        assert!(s.is_eliminated(vs[1].var()));
+        // Assuming b directly must see the original semantics: b -> c -> d.
+        assert_eq!(
+            s.solve_with_assumptions(&[vs[1], !vs[3]]),
+            SolveResult::Unsat
+        );
+        assert!(!s.is_eliminated(vs[1].var()));
+        assert!(s.is_frozen(vs[1].var()), "assumption vars are auto-frozen");
+    }
+
+    #[test]
+    fn freeze_protects_from_elimination_under_assumptions() {
+        let (mut s, vs) = chain_solver();
+        for v in &vs {
+            s.freeze(v.var());
+        }
+        assert!(s.simplify());
+        for v in &vs {
+            assert!(!s.is_eliminated(v.var()));
+        }
+        // Frozen vars keep answering assumption queries exactly.
+        assert_eq!(
+            s.solve_with_assumptions(&[vs[1], !vs[2]]),
+            SolveResult::Unsat
+        );
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&vs[1]) && core.contains(&!vs[2]));
+    }
+
+    #[test]
+    fn simplify_subsumption_and_strengthening() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        let d = s.new_var().positive();
+        for v in [a, b, c, d] {
+            s.freeze(v.var());
+        }
+        s.add_clause(&[a, b]);
+        s.add_clause(&[a, b, c]); // subsumed by [a, b]
+        s.add_clause(&[!a, b, d]); // self-subsumed by [a, b] to [b, d]
+        assert!(s.simplify());
+        let st = s.stats();
+        assert!(st.subsumed_clauses >= 1, "stats: {st:?}");
+        assert!(st.strengthened_lits >= 1, "stats: {st:?}");
+        assert_eq!(s.solve_with_assumptions(&[!b, !d]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn probing_finds_forced_units() {
+        // !a leads to a conflict via two chains, so probing should fix a.
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        for v in [a, b, c] {
+            s.freeze(v.var());
+        }
+        s.add_clause(&[a, b]);
+        s.add_clause(&[a, c]);
+        s.add_clause(&[a, !b, !c]);
+        assert!(s.simplify());
+        assert!(s.stats().probed_units >= 1);
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Unsat);
+        assert!(s.unsat_core().contains(&!a));
+    }
+
+    #[test]
+    fn simplify_keeps_solver_incremental() {
+        let (mut s, vs) = chain_solver();
+        assert!(s.simplify());
+        // Grow the formula after simplification: new vars and clauses over
+        // old (possibly eliminated) variables must still work.
+        let e = s.new_var().positive();
+        s.add_clause(&[!vs[3], e]);
+        assert_eq!(s.solve_with_assumptions(&[vs[0], !e]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[vs[0], e]), SolveResult::Sat);
+        assert!(s.model_value(vs[3]));
     }
 }

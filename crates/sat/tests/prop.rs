@@ -113,6 +113,76 @@ proptest! {
             prop_assert_eq!(s.solve() == SolveResult::Sat, expected);
         }
     }
+
+    /// `simplify()` (probing, subsumption, strengthening, BVE) preserves
+    /// satisfiability on random CNFs.
+    #[test]
+    fn simplify_preserves_satisfiability(clauses in arb_cnf(8, 40)) {
+        let expected = brute_force_sat(8, &clauses);
+        let mut s = build_solver(8, &clauses);
+        let simplify_ok = s.simplify();
+        prop_assert!(simplify_ok || !expected, "simplify derived UNSAT on a SAT formula");
+        prop_assert_eq!(s.solve() == SolveResult::Sat, expected);
+    }
+
+    /// After BVE, models reconstructed from the elimination stack satisfy
+    /// every ORIGINAL clause, not just the resolvent form.
+    #[test]
+    fn reconstructed_models_satisfy_original_clauses(clauses in arb_cnf(10, 50)) {
+        let mut s = build_solver(10, &clauses);
+        if !s.simplify() {
+            // Simplification proved top-level UNSAT; nothing to check.
+            prop_assert_eq!(s.solve(), SolveResult::Unsat);
+            return Ok(());
+        }
+        if s.solve() == SolveResult::Sat {
+            let vars: Vec<Var> = (0..10).map(Var::from_index).collect();
+            for clause in &clauses {
+                let sat = clause.iter().any(|&(v, pos)| s.model_value(vars[v].lit(pos)));
+                prop_assert!(sat, "reconstructed model violates original clause {:?}", clause);
+            }
+        }
+    }
+
+    /// Freeze semantics under assumptions: frozen variables survive
+    /// simplification, and assumption queries issued after simplify return
+    /// the same answers as on an untouched solver.
+    #[test]
+    fn simplify_is_transparent_to_assumptions(
+        clauses in arb_cnf(7, 30),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+    ) {
+        let assumed: Vec<(usize, bool)> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| (i, (polarity >> i) & 1 == 1))
+            .collect();
+        let mut with_units = clauses.clone();
+        for &(v, pos) in &assumed {
+            with_units.push(vec![(v, pos)]);
+        }
+        let expected = brute_force_sat(7, &with_units);
+
+        let mut s = build_solver(7, &clauses);
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        // Freeze the assumption variables up front (the session pattern),
+        // then simplify, then query.
+        for &(v, _) in &assumed {
+            s.freeze(vars[v]);
+        }
+        let ok = s.simplify();
+        for &(v, _) in &assumed {
+            prop_assert!(!s.is_eliminated(vars[v]), "frozen var eliminated");
+        }
+        let assumptions: Vec<Lit> = assumed.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        let res = s.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(res == SolveResult::Sat, expected && ok);
+
+        // Interleave: simplify again between queries, then re-check.
+        let _ = s.simplify();
+        let res2 = s.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(res2, res);
+    }
 }
 
 #[test]

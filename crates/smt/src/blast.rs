@@ -10,6 +10,7 @@
 //! the monolithic cost model.
 
 use crate::cnf::Cnf;
+use hh_netlist::simp::{Repr, SimpMap, SimpStats};
 use hh_netlist::{Bv, Netlist, NodeId, NodeOp, StateId};
 use hh_sat::Lit;
 
@@ -18,6 +19,10 @@ use hh_sat::Lit;
 pub struct TransitionEncoding<'a> {
     netlist: &'a Netlist,
     cnf: Cnf,
+    /// Word-level simplification (constant folding + strash) computed once
+    /// up front; every encoding request resolves through it, so folded
+    /// nodes cost nothing and structurally identical cones encode once.
+    simp: SimpMap,
     node_lits: Vec<Option<Vec<Lit>>>,
     state_vars: Vec<Option<Vec<Lit>>>,
     input_vars: Vec<Option<Vec<Lit>>>,
@@ -30,6 +35,7 @@ impl<'a> TransitionEncoding<'a> {
         let mut enc = TransitionEncoding {
             netlist,
             cnf: Cnf::new(),
+            simp: SimpMap::build(netlist),
             node_lits: vec![None; netlist.num_nodes()],
             state_vars: vec![None; netlist.num_states()],
             input_vars: vec![None; netlist.num_inputs()],
@@ -39,6 +45,12 @@ impl<'a> TransitionEncoding<'a> {
             enc.assert_lit(lits[0]);
         }
         enc
+    }
+
+    /// Word-level simplification counters (constant folds, rewrites,
+    /// strash hits) for this encoding's netlist.
+    pub fn simp_stats(&self) -> SimpStats {
+        self.simp.stats()
     }
 
     /// The underlying netlist.
@@ -74,11 +86,30 @@ impl<'a> TransitionEncoding<'a> {
     }
 
     /// Encoding of an arbitrary combinational node.
+    ///
+    /// Every node is resolved through the word-level [`SimpMap`] first:
+    /// constant-folded nodes become constant bit vectors without touching
+    /// the CNF, and structurally merged nodes alias their representative's
+    /// literals, so each distinct cone is blasted at most once.
     pub fn node_lits_of(&mut self, root: NodeId) -> Vec<Lit> {
         if let Some(v) = &self.node_lits[root.index()] {
             return v.clone();
         }
-        // Iterative post-order to bound stack depth on deep cones.
+        let leader = match self.simp.repr(root) {
+            Repr::Const(c) => {
+                let lits = self.cnf.const_bits(c.width(), c.bits());
+                self.node_lits[root.index()] = Some(lits.clone());
+                return lits;
+            }
+            Repr::Node(r) => r,
+        };
+        if leader != root {
+            let lits = self.node_lits_of(leader); // depth 1: a leader is its own repr
+            self.node_lits[root.index()] = Some(lits.clone());
+            return lits;
+        }
+        // Iterative post-order over *representatives* to bound stack depth
+        // on deep cones. Constant-valued operands need no traversal.
         let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
         while let Some((id, expanded)) = stack.pop() {
             if self.node_lits[id.index()].is_some() {
@@ -87,8 +118,10 @@ impl<'a> TransitionEncoding<'a> {
             if !expanded {
                 stack.push((id, true));
                 for op in self.netlist.operands(id) {
-                    if self.node_lits[op.index()].is_none() {
-                        stack.push((op, false));
+                    if let Repr::Node(r) = self.simp.repr(op) {
+                        if self.node_lits[r.index()].is_none() {
+                            stack.push((r, false));
+                        }
                     }
                 }
                 continue;
@@ -99,14 +132,20 @@ impl<'a> TransitionEncoding<'a> {
         self.node_lits[root.index()].clone().unwrap()
     }
 
+    /// Literals for an operand, resolved through the simplification map:
+    /// constants blast to fixed bits, merged nodes read their leader's cache.
+    fn operand_lits(&mut self, x: NodeId) -> Vec<Lit> {
+        match self.simp.repr(x) {
+            Repr::Const(c) => self.cnf.const_bits(c.width(), c.bits()),
+            Repr::Node(r) => self.node_lits[r.index()]
+                .clone()
+                .expect("operand encoded before parent"),
+        }
+    }
+
     /// Encodes a single node whose operands are already encoded.
     fn encode_one(&mut self, id: NodeId) -> Vec<Lit> {
         let node = self.netlist.node(id);
-        let get = |enc: &TransitionEncoding<'a>, x: NodeId| -> Vec<Lit> {
-            enc.node_lits[x.index()]
-                .clone()
-                .expect("operand encoded before parent")
-        };
         match node.op {
             NodeOp::Input(i) => {
                 if self.input_vars[i.index()].is_none() {
@@ -118,92 +157,92 @@ impl<'a> TransitionEncoding<'a> {
             NodeOp::State(s) => self.state_lits(s),
             NodeOp::Const(c) => self.cnf.const_bits(c.width(), c.bits()),
             NodeOp::Not(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 self.cnf.vnot(&av)
             }
             NodeOp::Neg(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 self.cnf.vneg(&av)
             }
             NodeOp::RedOr(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 vec![self.cnf.vredor(&av)]
             }
             NodeOp::RedAnd(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 vec![self.cnf.vredand(&av)]
             }
             NodeOp::RedXor(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 vec![self.cnf.vredxor(&av)]
             }
             NodeOp::And(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vand(&av, &bv)
             }
             NodeOp::Or(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vor(&av, &bv)
             }
             NodeOp::Xor(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vxor(&av, &bv)
             }
             NodeOp::Add(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vadd(&av, &bv)
             }
             NodeOp::Sub(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vsub(&av, &bv)
             }
             NodeOp::Mul(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vmul(&av, &bv)
             }
             NodeOp::Eq(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 vec![self.cnf.veq(&av, &bv)]
             }
             NodeOp::Ult(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 vec![self.cnf.vult(&av, &bv)]
             }
             NodeOp::Slt(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 vec![self.cnf.vslt(&av, &bv)]
             }
             NodeOp::Shl(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vshl(&av, &bv)
             }
             NodeOp::Lshr(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vlshr(&av, &bv)
             }
             NodeOp::Ashr(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vashr(&av, &bv)
             }
             NodeOp::Ite(c, t, e) => {
-                let cv = get(self, c);
-                let (tv, ev) = (get(self, t), get(self, e));
+                let cv = self.operand_lits(c);
+                let (tv, ev) = (self.operand_lits(t), self.operand_lits(e));
                 self.cnf.vite(cv[0], &tv, &ev)
             }
             NodeOp::Concat(a, b) => {
-                let (av, bv) = (get(self, a), get(self, b));
+                let (av, bv) = (self.operand_lits(a), self.operand_lits(b));
                 self.cnf.vconcat(&av, &bv)
             }
             NodeOp::Slice(a, hi, lo) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 self.cnf.vslice(&av, hi, lo)
             }
             NodeOp::Uext(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 self.cnf.vuext(&av, node.width)
             }
             NodeOp::Sext(a) => {
-                let av = get(self, a);
+                let av = self.operand_lits(a);
                 self.cnf.vsext(&av, node.width)
             }
         }
@@ -353,6 +392,47 @@ mod tests {
             v_cone * 2 < v_full,
             "cone ({v_cone} vars) should be much smaller than full ({v_full} vars)"
         );
+    }
+
+    #[test]
+    fn word_level_simplification_shares_and_folds() {
+        let mut n = Netlist::new("s");
+        let r1 = n.state("r1", 8, Bv::zero(8));
+        let r2 = n.state("r2", 8, Bv::zero(8));
+        let a = n.state_node(r1);
+        let b = n.state_node(r2);
+        let m1 = n.mul(a, b);
+        // Route through an add-zero identity so the builder's hash-consing
+        // cannot pre-share the second multiplier; only strash can.
+        let zero = n.c(8, 0);
+        let a2 = n.add(a, zero);
+        let m2 = n.mul(a2, b);
+        n.set_next(r1, m1);
+        n.set_next(r2, m2);
+        // A fully constant cone, to check folding produces no variables.
+        let c3 = n.c(8, 3);
+        let c4 = n.c(8, 4);
+        let csum = n.add(c3, c4);
+
+        let mut enc = TransitionEncoding::new(&n);
+        let n1 = enc.next_state_lits(r1);
+        let vars_after_first = enc.size().0;
+        let n2 = enc.next_state_lits(r2);
+        assert_eq!(n1, n2, "strash should alias the duplicate multiplier");
+        assert_eq!(
+            enc.size().0,
+            vars_after_first,
+            "aliased cone must not blast new variables"
+        );
+        let _ = enc.node_lits_of(csum);
+        assert_eq!(
+            enc.size().0,
+            vars_after_first,
+            "constant cone must not blast new variables"
+        );
+        let stats = enc.simp_stats();
+        assert!(stats.strash_hits >= 1, "expected a strash hit: {stats:?}");
+        assert!(stats.const_folds >= 1, "expected a const fold: {stats:?}");
     }
 
     #[test]

@@ -81,6 +81,23 @@ pub struct QueryTelemetry {
     pub solve_time: std::time::Duration,
     /// Whether the query was answered on a reused session encoding.
     pub cached: bool,
+    /// Inprocessing passes run by the SAT solver during this query.
+    pub simplifies: u64,
+    /// Variables removed by bounded variable elimination during this query.
+    pub eliminated_vars: u64,
+    /// Clauses deleted by backward subsumption during this query.
+    pub subsumed_clauses: u64,
+    /// Literals removed by self-subsuming resolution during this query.
+    pub strengthened_lits: u64,
+    /// Top-level units discovered by failed-literal probing during this query.
+    pub probed_units: u64,
+    /// Word-level constant folds in the encoding (fresh queries only; a
+    /// reused session already reported its encoding's folds).
+    pub const_folds: u64,
+    /// Word-level algebraic rewrites in the encoding (fresh queries only).
+    pub rewrites: u64,
+    /// Structural-hashing merges in the encoding (fresh queries only).
+    pub strash_hits: u64,
 }
 
 /// Result of an abduction query.

@@ -152,6 +152,12 @@ impl<'a> AbductionSession<'a> {
                     let cl = cand.encode_current(enc);
                     let a = enc.cnf_mut().fresh();
                     enc.cnf_mut().clause(&[!a, cl]);
+                    // Protect the indicator and the predicate literal from
+                    // variable elimination: both are re-assumed / re-linked
+                    // on later queries, after inprocessing may have run.
+                    let solver = enc.cnf_mut().solver_mut();
+                    solver.freeze(a.var());
+                    solver.freeze(cl.var());
                     let s = self.indicators.len();
                     self.indicators.push(a);
                     self.strength.push(strength_key(cand));
@@ -218,6 +224,7 @@ impl<'a> AbductionSession<'a> {
         };
         let after = enc.cnf().solver().stats();
         let solve_time = t_solve.elapsed();
+        let simp = enc.simp_stats();
 
         AbductionResult {
             abduct,
@@ -231,6 +238,16 @@ impl<'a> AbductionSession<'a> {
                 encode_time,
                 solve_time,
                 cached: reused,
+                simplifies: after.simplifies - before.simplifies,
+                eliminated_vars: after.eliminated_vars - before.eliminated_vars,
+                subsumed_clauses: after.subsumed_clauses - before.subsumed_clauses,
+                strengthened_lits: after.strengthened_lits - before.strengthened_lits,
+                probed_units: after.probed_units - before.probed_units,
+                // Word-level counters belong to the encoding, built once per
+                // session: attribute them to the first (fresh) query only.
+                const_folds: if reused { 0 } else { simp.const_folds },
+                rewrites: if reused { 0 } else { simp.rewrites },
+                strash_hits: if reused { 0 } else { simp.strash_hits },
             },
         }
     }
