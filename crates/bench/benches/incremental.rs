@@ -7,6 +7,9 @@
 //! candidate set (simulating `P_fail` growth). The fresh variant pays the
 //! bit-blast on every query; the session variant pays it once and answers
 //! retries under filtered assumption sets.
+//!
+//! A second group benches cross-target cone sharing (DESIGN.md ablation 9):
+//! full OoO learning runs with the encode cache and clause pools on vs off.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hh_bench::{all_targets, known_safe_set, prepare};
@@ -41,7 +44,7 @@ fn bench(c: &mut Criterion) {
 
     // Sanity + telemetry: the session's retries must match fresh queries
     // and must re-encode strictly less.
-    let mut session = AbductionSession::new(miter.netlist(), target.clone(), config.clone());
+    let mut session = AbductionSession::new(miter.netlist(), target.clone(), config);
     let mut saved = (0usize, 0usize);
     for k in 0..RETRIES {
         let fresh = abduct(miter.netlist(), &target, &cands[k..], &config);
@@ -110,7 +113,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("incremental/session_reuse", |b| {
         b.iter(|| {
-            let mut s = AbductionSession::new(miter.netlist(), target.clone(), config.clone());
+            let mut s = AbductionSession::new(miter.netlist(), target.clone(), config);
             for k in 0..RETRIES {
                 let r = s.solve(&cands[k..]);
                 black_box(r.abduct);
@@ -119,9 +122,64 @@ fn bench(c: &mut Criterion) {
     });
 }
 
+/// Cross-target cone sharing (DESIGN.md ablation 9): a full learning run on
+/// an OoO core with the encode cache + clause pools on vs off. The shared
+/// state is rebuilt inside each iteration, so the measurement includes the
+/// (amortised) cost of populating the cache — exactly what a cold engine
+/// run pays.
+fn bench_sharing(c: &mut Criterion) {
+    let targets = all_targets();
+    let boom = &targets[1];
+    let safe = known_safe_set(boom.name);
+    let run = |cc: bool, ct: bool| {
+        let cfg = hhoudini::EngineConfig {
+            cone_cache: cc,
+            clause_transfer: ct,
+            ..hhoudini::EngineConfig::default()
+        };
+        hh_bench::learn_run_config(&boom.design, &safe, 2, cfg, true)
+    };
+
+    // Sanity outside the timed region: sharing must actually engage and
+    // must not change the invariant.
+    let fingerprint = |r: &hh_bench::RunResult| {
+        let mut v: Vec<String> = r
+            .invariant
+            .as_ref()
+            .expect("must learn")
+            .preds()
+            .iter()
+            .map(|p| format!("{p:?}"))
+            .collect();
+        v.sort();
+        v
+    };
+    let on = run(true, true);
+    let off = run(false, false);
+    assert!(on.stats.encode_cache_hits > 0, "cache never hit");
+    assert!(on.stats.imported_clauses > 0, "no clauses migrated");
+    assert_eq!(
+        fingerprint(&on),
+        fingerprint(&off),
+        "sharing changed the invariant"
+    );
+
+    c.bench_function("sharing/none", |b| {
+        b.iter(|| black_box(run(false, false).invariant.expect("must learn").len()))
+    });
+    c.bench_function("sharing/full", |b| {
+        b.iter(|| black_box(run(true, true).invariant.expect("must learn").len()))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench
 }
-criterion_main!(benches);
+criterion_group! {
+    name = sharing_benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench_sharing
+}
+criterion_main!(benches, sharing_benches);

@@ -6,20 +6,25 @@
 //! cargo run -p hh-bench --release --bin perf_smoke
 //! ```
 //!
-//! Two gates:
+//! Three gates:
 //!
 //! * session reuse must answer the retry stream at least 1.5x faster than
-//!   rebuilding the cone encoding per query, and
+//!   rebuilding the cone encoding per query,
 //! * `Solver::simplify()` must produce a measurable CNF reduction on the
-//!   query cone (fewer free variables or fewer live clauses).
+//!   query cone (fewer free variables or fewer live clauses), and
+//! * cross-target cone sharing (DESIGN.md ablation 9) must show encode-cache
+//!   hits and an encode-time reduction on an OoO core while leaving the
+//!   learned invariant bit-identical in all four sharing quadrants and
+//!   across worker-thread counts.
 //!
-//! Results (including the before/after CNF sizes and the simplification
-//! counters) are written to `bench_results/perf_smoke.json`.
+//! Results (including the before/after CNF sizes, the simplification
+//! counters and the sharing quadrant matrix) are written to
+//! `bench_results/perf_smoke.json`.
 
-use hh_bench::{all_targets, known_safe_set, prepare, secs, Report};
+use hh_bench::{all_targets, known_safe_set, learn_run_config, prepare, secs, Report};
 use hh_smt::{abduct, AbductionConfig, AbductionSession, Predicate, TransitionEncoding};
 use hhoudini::mine::{CoiMiner, Miner};
-use hhoudini::PredicateStore;
+use hhoudini::{EngineConfig, Invariant, PredicateStore};
 use std::time::Instant;
 
 /// First query + simulated backtracking retries, as in the Criterion bench.
@@ -43,7 +48,7 @@ fn main() {
     let config = AbductionConfig::paper_default();
 
     // Correctness first: session answers must match fresh queries.
-    let mut session = AbductionSession::new(miter.netlist(), target.clone(), config.clone());
+    let mut session = AbductionSession::new(miter.netlist(), target.clone(), config);
     for k in 0..RETRIES {
         let fresh = abduct(miter.netlist(), &target, &cands[k..], &config);
         let reused = session.solve(&cands[k..]);
@@ -61,7 +66,7 @@ fn main() {
         }
         fresh_s += secs(t.elapsed());
         let t = Instant::now();
-        let mut s = AbductionSession::new(miter.netlist(), target.clone(), config.clone());
+        let mut s = AbductionSession::new(miter.netlist(), target.clone(), config);
         for k in 0..RETRIES {
             let r = s.solve(&cands[k..]);
             std::hint::black_box(r.abduct);
@@ -104,6 +109,88 @@ fn main() {
         word.const_folds, word.rewrites, word.strash_hits
     );
 
+    // ------------------------------------------------------------------
+    // Cross-target cone sharing (DESIGN.md ablation 9). Four quadrants of
+    // (cone_cache, clause_transfer) on SmallBoomLite, plus the full-sharing
+    // configuration at 1/2/4 worker threads: the cache must hit, sharing
+    // must cut encode time, and the learned invariant must be bit-identical
+    // everywhere (sharing is an optimisation, never a semantic change).
+    // ------------------------------------------------------------------
+    let boom = &targets[1];
+    let boom_safe = known_safe_set(boom.name);
+    let run_sharing = |cc: bool, ct: bool, threads: usize| {
+        let cfg = EngineConfig {
+            cone_cache: cc,
+            clause_transfer: ct,
+            ..EngineConfig::default()
+        };
+        learn_run_config(&boom.design, &boom_safe, threads, cfg, true)
+    };
+    let fingerprint = |inv: &Invariant| -> Vec<String> {
+        let mut v: Vec<String> = inv.preds().iter().map(|p| format!("{p:?}")).collect();
+        v.sort();
+        v
+    };
+
+    println!("\nCross-target sharing — quadrants on {}", boom.name);
+    let mut quadrants = Vec::new();
+    for (cc, ct) in [(false, false), (true, false), (false, true), (true, true)] {
+        let run = run_sharing(cc, ct, 2);
+        let inv = run.invariant.as_ref().expect("quadrant must learn");
+        println!(
+            "  cache={} transfer={}: encode {:.3}s, hits {}, vars saved {}, \
+             clauses imported {}, invariant {} predicates",
+            cc as u8,
+            ct as u8,
+            secs(run.stats.encode_time),
+            run.stats.encode_cache_hits,
+            run.stats.encode_vars_saved,
+            run.stats.imported_clauses,
+            inv.len()
+        );
+        quadrants.push((cc, ct, fingerprint(inv), run.stats));
+    }
+    let reference = quadrants[0].2.clone();
+    for (cc, ct, fp, stats) in &quadrants {
+        assert_eq!(
+            fp, &reference,
+            "invariant differs at cone_cache={cc} clause_transfer={ct}"
+        );
+        if *cc {
+            assert!(
+                stats.encode_cache_hits > 0,
+                "cache never hit on {}",
+                boom.name
+            );
+            assert!(stats.encode_cache_hit_rate() > 0.0);
+            assert!(stats.encode_vars_saved > 0 && stats.encode_clauses_saved > 0);
+        } else {
+            assert_eq!(stats.encode_cache_hits, 0, "hits counted with cache off");
+        }
+        if *ct {
+            assert!(stats.exported_clauses > 0, "transfer exported nothing");
+            assert!(stats.imported_clauses > 0, "transfer imported nothing");
+        } else {
+            assert_eq!(
+                stats.imported_clauses, 0,
+                "imports counted with transfer off"
+            );
+        }
+    }
+    for threads in [1usize, 4] {
+        let run = run_sharing(true, true, threads);
+        let inv = run.invariant.as_ref().expect("threaded run must learn");
+        assert_eq!(
+            fingerprint(inv),
+            reference,
+            "invariant differs at threads={threads}"
+        );
+    }
+    println!("  invariant bit-identical across 4 quadrants x threads 1/2/4");
+    let encode_off = secs(quadrants[0].3.encode_time);
+    let encode_on = secs(quadrants[3].3.encode_time);
+    println!("  encode time {encode_off:.3}s (no sharing) -> {encode_on:.3}s (full sharing)");
+
     let mut report = Report::new();
     let name = "RocketLite";
     report.push("perf_smoke", name, "fresh_s", fresh_s, "s");
@@ -136,6 +223,49 @@ fn main() {
     ] {
         report.push("perf_smoke", name, key, value as f64, unit);
     }
+    for (cc, ct, _, stats) in &quadrants {
+        let tag = format!("cc{}_ct{}", *cc as u8, *ct as u8);
+        for (key, value, unit) in [
+            (format!("encode_s_{tag}"), secs(stats.encode_time), "s"),
+            (format!("wall_s_{tag}"), secs(stats.wall_time), "s"),
+            (
+                format!("encode_cache_hits_{tag}"),
+                stats.encode_cache_hits as f64,
+                "cones",
+            ),
+            (
+                format!("encode_vars_saved_{tag}"),
+                stats.encode_vars_saved as f64,
+                "vars",
+            ),
+            (
+                format!("exported_clauses_{tag}"),
+                stats.exported_clauses as f64,
+                "clauses",
+            ),
+            (
+                format!("imported_clauses_{tag}"),
+                stats.imported_clauses as f64,
+                "clauses",
+            ),
+        ] {
+            report.push("perf_smoke", boom.name, &key, value, unit);
+        }
+    }
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "encode_cache_hit_rate",
+        quadrants[3].3.encode_cache_hit_rate(),
+        "frac",
+    );
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "sharing_invariants_identical",
+        1.0,
+        "bool",
+    );
     report.finish("perf_smoke");
 
     assert!(
@@ -145,6 +275,11 @@ fn main() {
     assert!(
         speedup >= MIN_SPEEDUP,
         "session-reuse speedup regressed: {speedup:.2}x < {MIN_SPEEDUP}x"
+    );
+    assert!(
+        encode_on < encode_off,
+        "cross-target sharing produced no encode-time reduction: \
+         {encode_off:.3}s -> {encode_on:.3}s"
     );
     println!("\nPerf smoke passed.");
 }

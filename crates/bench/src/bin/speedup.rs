@@ -124,9 +124,25 @@ fn main() {
             ("word_const_folds", s.word_const_folds, "nodes"),
             ("word_rewrites", s.word_rewrites, "nodes"),
             ("word_strash_hits", s.word_strash_hits, "nodes"),
+            // Cross-target sharing telemetry (DESIGN.md ablation 9): cone
+            // encodings replayed across signature-equal targets and learnt
+            // clauses migrated between their sessions.
+            ("encode_cache_hits", s.encode_cache_hits, "cones"),
+            ("encode_cache_misses", s.encode_cache_misses, "cones"),
+            ("encode_vars_saved", s.encode_vars_saved, "vars"),
+            ("encode_clauses_saved", s.encode_clauses_saved, "clauses"),
+            ("exported_clauses", s.exported_clauses, "clauses"),
+            ("imported_clauses", s.imported_clauses, "clauses"),
         ] {
             report.push("speedup", t.name, key, value as f64, unit);
         }
+        report.push(
+            "speedup",
+            t.name,
+            "encode_cache_hit_rate",
+            s.encode_cache_hit_rate(),
+            "frac",
+        );
         factors.push(f_h.min(f_s));
     }
     // Shape: the advantage grows with design size.

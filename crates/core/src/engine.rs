@@ -23,8 +23,9 @@ use crate::mine::Miner;
 use crate::store::{PredId, PredicateStore};
 use crate::{Invariant, Stats, TaskRecord};
 use hh_netlist::Netlist;
-use hh_smt::{abduct, AbductionConfig, AbductionResult, AbductionSession, Predicate};
+use hh_smt::{abduct, AbductionConfig, AbductionResult, AbductionSession, EncodeCache, Predicate};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-target cache of live abduction sessions, owned by an engine and (in
@@ -32,25 +33,58 @@ use std::time::Instant;
 /// the result. Dropping an entry frees its solver.
 pub(crate) type SessionCache<'a> = HashMap<PredId, AbductionSession<'a>>;
 
+/// Creates the session for one target according to the sharing knobs: plain
+/// when both cross-target features are off (the PR-2 baseline, own `SimpMap`
+/// per session), cache-attached otherwise. `use_entries` (= `cone_cache`)
+/// controls base-encoding replay; the clause pools ride on the same
+/// signatures either way.
+pub(crate) fn make_session<'a>(
+    netlist: &'a Netlist,
+    target: Arc<Predicate>,
+    config: &AbductionConfig,
+    cache: Option<&Arc<EncodeCache>>,
+    cone_cache: bool,
+) -> AbductionSession<'a> {
+    match cache {
+        Some(c) => {
+            AbductionSession::with_cache(netlist, target, *config, Arc::clone(c), cone_cache)
+        }
+        None => AbductionSession::new(netlist, target, *config),
+    }
+}
+
 /// Runs one abduction query for `pred`, through its cached session when
 /// `sessions` is enabled (creating it on first use) and through the fresh
-/// per-query path otherwise.
+/// per-query path otherwise. With `clause_transfer`, a newly created
+/// session imports the signature pool before solving and exports its learnt
+/// clauses after.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn abduct_via_cache<'a>(
     cache: &mut SessionCache<'a>,
     use_sessions: bool,
     netlist: &'a Netlist,
     pred: PredId,
-    target: &Predicate,
+    target: Arc<Predicate>,
     cands: &[Predicate],
     config: &AbductionConfig,
+    encode_cache: Option<&Arc<EncodeCache>>,
+    cone_cache: bool,
+    clause_transfer: bool,
 ) -> AbductionResult {
     if use_sessions {
         let session = cache
             .entry(pred)
-            .or_insert_with(|| AbductionSession::new(netlist, target.clone(), config.clone()));
-        session.solve(cands)
+            .or_insert_with(|| make_session(netlist, target, config, encode_cache, cone_cache));
+        if clause_transfer {
+            session.stage_imports();
+        }
+        let res = session.solve(cands);
+        if clause_transfer {
+            session.export_learnt_to_pool();
+        }
+        res
     } else {
-        abduct(netlist, target, cands, config)
+        abduct(netlist, &target, cands, config)
     }
 }
 
@@ -67,6 +101,16 @@ pub struct EngineConfig {
     /// instead of re-blasting the cone (§3.2.4). Ablation knob: `false`
     /// reproduces the fresh-encoding-per-query behaviour.
     pub sessions: bool,
+    /// Share base encodings across signature-equal targets through an
+    /// [`EncodeCache`] (replay instead of re-blasting). Requires
+    /// `sessions`. A replay is byte-identical to a fresh build, so this
+    /// knob cannot change the learned invariant — only the encode time.
+    pub cone_cache: bool,
+    /// Transfer learnt clauses between signature-equal sessions via the
+    /// cache's per-signature pools. Requires `sessions`. Imported clauses
+    /// are implied by the receiving base formula, so invariant validity is
+    /// unaffected.
+    pub clause_transfer: bool,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +119,21 @@ impl Default for EngineConfig {
             abduction: AbductionConfig::paper_default(),
             memoize: true,
             sessions: true,
+            cone_cache: true,
+            clause_transfer: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builds the shared [`EncodeCache`] for one learn run, or `None` when
+    /// both cross-target sharing features are disabled (the exact
+    /// per-session-`SimpMap` baseline of earlier revisions).
+    pub(crate) fn make_encode_cache(&self, netlist: &Netlist) -> Option<Arc<EncodeCache>> {
+        if self.sessions && (self.cone_cache || self.clause_transfer) {
+            Some(Arc::new(EncodeCache::new(netlist)))
+        } else {
+            None
         }
     }
 }
@@ -93,6 +152,8 @@ pub struct SerialEngine<'a, M: Miner> {
     in_progress: Vec<PredId>,
     /// Live abduction sessions, keyed by target (§3.2.4).
     sessions: SessionCache<'a>,
+    /// Cross-target encoding cache + clause pools for the current learn run.
+    encode_cache: Option<Arc<EncodeCache>>,
     stats: Stats,
 }
 
@@ -108,6 +169,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             failed: HashSet::new(),
             in_progress: Vec::new(),
             sessions: SessionCache::new(),
+            encode_cache: None,
             stats: Stats::default(),
         }
     }
@@ -135,6 +197,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
     /// within the predicate language.
     pub fn learn(&mut self, properties: &[Predicate]) -> Option<Invariant> {
         let t0 = Instant::now();
+        self.encode_cache = self.config.make_encode_cache(self.netlist);
         let prop_ids: Vec<PredId> = properties
             .iter()
             .map(|p| self.store.intern(p.clone()))
@@ -161,9 +224,14 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
                 self.memo.remove(&s);
             }
         };
+        if let Some(cache) = &self.encode_cache {
+            self.stats.record_encode_cache(&cache.stats());
+        }
         self.stats.wall_time = t0.elapsed();
-        // Sessions only pay off within one learning run; free the solvers.
+        // Sessions (and the encode cache) only pay off within one learning
+        // run; free the solvers and recorded encodings.
         self.sessions.clear();
+        self.encode_cache = None;
         result
     }
 
@@ -221,7 +289,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
 
         let outcome = loop {
             // Lines 9–11: slice, mine, subtract P_fail.
-            let target = self.store.get(p).clone();
+            let target = self.store.get_arc(p);
             let mut cand_ids = self.miner.mine(&target, &mut self.store);
             cand_ids.sort_unstable();
             cand_ids.dedup();
@@ -235,9 +303,12 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
                 self.config.sessions,
                 self.netlist,
                 p,
-                &target,
+                target,
                 &cands,
                 &self.config.abduction,
+                self.encode_cache.as_ref(),
+                self.config.cone_cache,
+                self.config.clause_transfer,
             );
             let qd = q0.elapsed();
             self.stats.record_query(qd);

@@ -8,11 +8,20 @@
 //! enqueues its newly discovered children — fast tasks never wait on a
 //! wave's straggler, and workers stay busy as long as any job is queued.
 //!
+//! **Priority.** Ready targets are issued **largest 1-step cone first**
+//! (cone weight = bit-width of the target's states plus its one-step
+//! support, computed once per predicate). Big cones are the stragglers of a
+//! run; starting them earliest shortens the makespan without touching the
+//! result — see the determinism argument below. Ties break by enqueue
+//! order, so the issue order is total and reproducible.
+//!
 //! **Determinism.** Results are *committed* in job-issue order through a
-//! reorder buffer. Every scheduling decision (which predicates to mine,
-//! which candidates `P_fail` filters, task numbering) is therefore a pure
-//! function of commit history, which makes the learned invariant and the
-//! task DAG identical run-to-run and across thread counts — only the
+//! reorder buffer, and the scheduler commits **exactly one** result per
+//! loop iteration before issuing again. Every issue point therefore sees
+//! scheduler state (`P_fail`, memo table, miner, priority queue, clause
+//! pools) that is a pure function of the commit count — never of worker
+//! timing. That makes every scheduling decision, the learned invariant and
+//! the task DAG identical run-to-run and across thread counts — only the
 //! measured durations vary. Out-of-order completions are buffered (cheap:
 //! commits are table updates), so the barrier of the old wavefront design
 //! is gone from the *solving* path.
@@ -20,18 +29,37 @@
 //! The memo table and `P_fail` are shared across the run exactly as in the
 //! serial engine, so overlapping cones are still analysed once. Each target
 //! keeps a live [`AbductionSession`] (travelling with the job and returned
-//! with the result), so backtracking retries re-solve incrementally.
+//! with the result), so backtracking retries re-solve incrementally. A
+//! per-run [`hh_smt::EncodeCache`] is shared by all sessions: signature-
+//! equal cones replay each other's base encodings, and (with clause
+//! transfer on) learnt clauses flow between them through per-signature
+//! pools. Pool imports are staged at job issue and exports run at commit —
+//! both on the scheduler thread, at deterministic points.
 
-use crate::engine::SessionCache;
+use crate::engine::{make_session, SessionCache};
 use crate::mine::Miner;
 use crate::store::{PredId, PredicateStore};
 use crate::{EngineConfig, Invariant, Stats, TaskRecord};
+use hh_netlist::coi::Coi;
 use hh_netlist::Netlist;
 use hh_smt::{AbductionResult, AbductionSession, Predicate};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Scheduling weight of a target: total bit-width of its own states plus
+/// its 1-step cone support. A proxy for encode + solve cost — wide cones
+/// blast more gates and take longer, so they are issued first.
+fn cone_weight(netlist: &Netlist, coi: &Coi, pred: &Predicate) -> u64 {
+    let states = pred.all_states();
+    let mut w: u64 = states.iter().map(|&s| netlist.state_width(s) as u64).sum();
+    for s in coi.one_step(&states) {
+        w += netlist.state_width(s) as u64;
+    }
+    w
+}
 
 /// The parallel H-Houdini engine.
 #[derive(Debug)]
@@ -51,11 +79,12 @@ pub struct ParallelEngine<'a, M: Miner> {
     stats: Stats,
 }
 
-/// What a worker needs to run one abduction query.
+/// What a worker needs to run one abduction query. Predicates are shared
+/// handles into the store — issuing a job clones pointers, not trees.
 struct Job<'a> {
     job_idx: usize,
-    target: Predicate,
-    cands: Vec<Predicate>,
+    target: Arc<Predicate>,
+    cands: Vec<Arc<Predicate>>,
     /// The target's live session (None with sessions disabled).
     session: Option<AbductionSession<'a>>,
 }
@@ -120,9 +149,14 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
         }
 
         let netlist = self.netlist;
-        let abd_cfg = self.config.abduction.clone();
+        let abd_cfg = self.config.abduction;
         let use_sessions = self.config.sessions;
+        let cone_cache = self.config.cone_cache;
+        let clause_transfer = self.config.clause_transfer;
+        let encode_cache = self.config.make_encode_cache(netlist);
         let workers = self.threads.max(1);
+        let coi = Coi::new(netlist);
+        let mut weights: HashMap<PredId, u64> = HashMap::new();
 
         let (job_tx, job_rx) = mpsc::channel::<Job<'a>>();
         let job_rx = Mutex::new(job_rx);
@@ -132,7 +166,6 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             for _ in 0..workers {
                 let done_tx = done_tx.clone();
                 let job_rx = &job_rx;
-                let abd_cfg = abd_cfg.clone();
                 scope.spawn(move || {
                     loop {
                         // Hold the lock only for the dequeue, not the solve.
@@ -163,31 +196,40 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             }
             drop(done_tx); // scheduler keeps only done_rx
 
-            // Scheduler state. `queue` holds predicates to (re-)issue, in
-            // deterministic discovery order; `reorder` buffers out-of-order
-            // completions until their turn to commit.
-            let mut queue: VecDeque<PredId> = prop_ids.iter().copied().collect();
+            // Scheduler state. `queue` holds predicates to (re-)issue,
+            // largest cone first (enqueue order as tiebreak); `reorder`
+            // buffers out-of-order completions until their turn to commit.
+            let mut queue: BinaryHeap<(u64, Reverse<usize>, PredId)> = BinaryHeap::new();
+            let mut seq = 0usize;
+            for &p in &prop_ids {
+                let w = *weights
+                    .entry(p)
+                    .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(p)));
+                queue.push((w, Reverse(seq), p));
+                seq += 1;
+            }
             let mut metas: Vec<JobMeta> = Vec::new();
             let mut reorder: BTreeMap<usize, JobDone<'a>> = BTreeMap::new();
             let mut next_commit = 0usize;
             let mut inflight: HashSet<PredId> = HashSet::new();
 
             let outcome = loop {
-                // Issue phase: drain the queue, skipping targets that
-                // resolved (or got scheduled) since they were enqueued.
-                while let Some(p) = queue.pop_front() {
+                // Issue phase: drain the queue in priority order, skipping
+                // targets that resolved (or got scheduled) since they were
+                // enqueued.
+                while let Some((_, _, p)) = queue.pop() {
                     if self.failed.contains(&p)
                         || self.memo.contains_key(&p)
                         || inflight.contains(&p)
                     {
                         continue;
                     }
-                    let target = self.store.get(p).clone();
+                    let target = self.store.get_arc(p);
                     let mut cand_ids = self.miner.mine(&target, &mut self.store);
                     cand_ids.sort_unstable();
                     cand_ids.dedup();
                     cand_ids.retain(|q| !self.failed.contains(q));
-                    let cands = self.store.resolve(&cand_ids);
+                    let cands = self.store.resolve_arc(&cand_ids);
                     let parent = self.discoverer.get(&p).copied().flatten();
                     let job_idx = metas.len();
                     metas.push(JobMeta {
@@ -196,9 +238,19 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                         parent,
                     });
                     let session = if use_sessions {
-                        Some(self.sessions.remove(&p).unwrap_or_else(|| {
-                            AbductionSession::new(netlist, target.clone(), abd_cfg.clone())
-                        }))
+                        let mut s = self.sessions.remove(&p).unwrap_or_else(|| {
+                            make_session(
+                                netlist,
+                                Arc::clone(&target),
+                                &abd_cfg,
+                                encode_cache.as_ref(),
+                                cone_cache,
+                            )
+                        });
+                        if clause_transfer {
+                            s.stage_imports();
+                        }
+                        Some(s)
                     } else {
                         None
                     };
@@ -232,56 +284,71 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                     self.stats.backtracks += stale.len();
                     for s in stale {
                         self.memo.remove(&s);
-                        queue.push_back(s);
+                        let w = *weights
+                            .entry(s)
+                            .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(s)));
+                        queue.push((w, Reverse(seq), s));
+                        seq += 1;
                     }
                     continue;
                 }
 
-                // Stream phase: block for the next completion, then commit
-                // every contiguous result in issue order. Children mined
-                // from commits land in `queue` and are issued on the next
-                // loop iteration — while other jobs are still solving.
+                // Stream phase: block for the next completion in issue
+                // order, then commit exactly ONE result before issuing
+                // again. Single-step commits keep every issue point a pure
+                // function of the commit count (see module docs); children
+                // mined from the commit land in `queue` and are issued on
+                // the next loop iteration — while other jobs are still
+                // solving.
                 while !reorder.contains_key(&next_commit) {
                     let done = done_rx.recv().expect("worker result");
                     reorder.insert(done.job_idx, done);
                 }
-                while let Some(done) = reorder.remove(&next_commit) {
-                    let meta = &metas[next_commit];
-                    self.stats.record_query(done.duration);
-                    self.stats.record_abduction(&done.result.telemetry);
-                    let task_idx = self.stats.tasks.len();
-                    self.stats.tasks.push(TaskRecord {
-                        pred: meta.pred,
-                        parent: meta.parent,
-                        duration: done.duration,
-                        smt_time: done.duration,
-                        queries: 1,
-                    });
-                    self.stats.task_time += done.duration;
-                    match done.result.abduct {
-                        None => {
-                            self.failed.insert(meta.pred);
-                        }
-                        Some(idxs) => {
-                            let ab: Vec<PredId> =
-                                idxs.into_iter().map(|i| meta.cand_ids[i]).collect();
-                            for &q in &ab {
-                                self.discoverer.entry(q).or_insert(Some(task_idx));
-                                queue.push_back(q);
-                            }
-                            self.memo.insert(meta.pred, ab);
-                        }
+                let done = reorder.remove(&next_commit).expect("checked above");
+                let meta = &metas[next_commit];
+                self.stats.record_query(done.duration);
+                self.stats.record_abduction(&done.result.telemetry);
+                let task_idx = self.stats.tasks.len();
+                self.stats.tasks.push(TaskRecord {
+                    pred: meta.pred,
+                    parent: meta.parent,
+                    duration: done.duration,
+                    smt_time: done.duration,
+                    queries: 1,
+                });
+                self.stats.task_time += done.duration;
+                match done.result.abduct {
+                    None => {
+                        self.failed.insert(meta.pred);
                     }
-                    inflight.remove(&meta.pred);
-                    if let Some(s) = done.session {
-                        self.sessions.insert(meta.pred, s);
+                    Some(idxs) => {
+                        let ab: Vec<PredId> = idxs.into_iter().map(|i| meta.cand_ids[i]).collect();
+                        for &q in &ab {
+                            self.discoverer.entry(q).or_insert(Some(task_idx));
+                            let w = *weights
+                                .entry(q)
+                                .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(q)));
+                            queue.push((w, Reverse(seq), q));
+                            seq += 1;
+                        }
+                        self.memo.insert(meta.pred, ab);
                     }
-                    next_commit += 1;
                 }
+                inflight.remove(&meta.pred);
+                if let Some(s) = done.session {
+                    if clause_transfer {
+                        s.export_learnt_to_pool();
+                    }
+                    self.sessions.insert(meta.pred, s);
+                }
+                next_commit += 1;
             };
             drop(job_tx); // closes the queue; workers exit before scope joins
             outcome
         });
+        if let Some(cache) = &encode_cache {
+            self.stats.record_encode_cache(&cache.stats());
+        }
         self.stats.wall_time = t0.elapsed();
         // Sessions only pay off within one learning run; free the solvers.
         self.sessions.clear();
@@ -409,6 +476,54 @@ mod tests {
         let ob = n.find_state("obs").unwrap();
         let prop = Predicate::eq(m.left(ob), m.right(ob));
         assert!(par.learn(&[prop]).is_none());
+    }
+
+    #[test]
+    fn sharing_quadrants_and_thread_counts_agree() {
+        // The learned invariant must be identical across all four ablation-9
+        // quadrants (cone cache × clause transfer) and across thread counts;
+        // with the cone cache on, the 8 isomorphic held registers must
+        // produce encode-cache hits.
+        let (base, m) = wide(8);
+        let e = StateValues::initial(m.netlist());
+        let t = base.find_state("t").unwrap();
+        let prop = Predicate::eq(m.left(t), m.right(t));
+
+        let mut reference: Option<Vec<Predicate>> = None;
+        for (cone_cache, clause_transfer) in
+            [(false, false), (true, false), (false, true), (true, true)]
+        {
+            for threads in [1, 2, 4] {
+                let cfg = EngineConfig {
+                    cone_cache,
+                    clause_transfer,
+                    ..EngineConfig::default()
+                };
+                let miner = CoiMiner::new(&m, std::slice::from_ref(&e), None, vec![]);
+                let mut par = ParallelEngine::new(m.netlist(), miner, cfg, threads);
+                let inv = par.learn(std::slice::from_ref(&prop)).unwrap();
+                let mut preds = inv.preds().to_vec();
+                preds.sort_by_key(|p| format!("{p:?}"));
+                match &reference {
+                    None => reference = Some(preds),
+                    Some(r) => assert_eq!(
+                        r, &preds,
+                        "invariant differs at cone_cache={cone_cache} \
+                         clause_transfer={clause_transfer} threads={threads}"
+                    ),
+                }
+                let stats = par.stats();
+                if cone_cache {
+                    assert!(
+                        stats.encode_cache_hits > 0,
+                        "isomorphic registers must hit the encode cache"
+                    );
+                    assert!(stats.encode_vars_saved > 0);
+                } else {
+                    assert_eq!(stats.encode_cache_hits, 0);
+                }
+            }
+        }
     }
 
     #[test]

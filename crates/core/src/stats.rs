@@ -80,6 +80,19 @@ pub struct Stats {
     pub word_rewrites: u64,
     /// Structural-hashing merges performed by the blaster's simplifier.
     pub word_strash_hits: u64,
+    /// Base encodings replayed from the cross-target encode cache instead of
+    /// being re-blasted (signature hits).
+    pub encode_cache_hits: u64,
+    /// Base encodings blasted fresh and recorded into the cache.
+    pub encode_cache_misses: u64,
+    /// SAT variables whose allocation encode-cache replay skipped.
+    pub encode_vars_saved: u64,
+    /// Tseitin clauses encode-cache replay skipped re-deriving.
+    pub encode_clauses_saved: u64,
+    /// Learnt clauses exported into cross-target clause pools.
+    pub exported_clauses: u64,
+    /// Learnt clauses imported from clause pools into fresh sessions.
+    pub imported_clauses: u64,
 }
 
 impl Stats {
@@ -196,6 +209,17 @@ impl Stats {
         self.word_strash_hits += t.strash_hits;
     }
 
+    /// Folds the final [`hh_smt::CacheStats`] of a learn run's shared
+    /// encode cache into the counters.
+    pub(crate) fn record_encode_cache(&mut self, c: &hh_smt::CacheStats) {
+        self.encode_cache_hits += c.hits;
+        self.encode_cache_misses += c.misses;
+        self.encode_vars_saved += c.vars_saved;
+        self.encode_clauses_saved += c.clauses_saved;
+        self.exported_clauses += c.exported_clauses;
+        self.imported_clauses += c.imported_clauses;
+    }
+
     /// Fraction of abduction queries served by a live session (0 when no
     /// queries ran).
     pub fn session_hit_rate(&self) -> f64 {
@@ -204,6 +228,16 @@ impl Stats {
             return 0.0;
         }
         self.session_hits as f64 / total as f64
+    }
+
+    /// Fraction of base encodings served by the cross-target encode cache
+    /// (0 when the cache was off or never consulted).
+    pub fn encode_cache_hit_rate(&self) -> f64 {
+        let total = self.encode_cache_hits + self.encode_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.encode_cache_hits as f64 / total as f64
     }
 }
 

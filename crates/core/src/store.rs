@@ -8,6 +8,7 @@
 
 use hh_smt::Predicate;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dense identifier of an interned predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -21,9 +22,13 @@ impl PredId {
 }
 
 /// Interning table for [`Predicate`]s.
+///
+/// Predicates are stored behind [`Arc`] so that job payloads (worker-thread
+/// abduction jobs, live sessions) can share them without deep-cloning the
+/// predicate tree per job.
 #[derive(Debug, Default)]
 pub struct PredicateStore {
-    preds: Vec<Predicate>,
+    preds: Vec<Arc<Predicate>>,
     index: HashMap<Predicate, PredId>,
 }
 
@@ -40,13 +45,18 @@ impl PredicateStore {
         }
         let id = PredId(self.preds.len() as u32);
         self.index.insert(pred.clone(), id);
-        self.preds.push(pred);
+        self.preds.push(Arc::new(pred));
         id
     }
 
     /// Looks up a predicate by id.
     pub fn get(&self, id: PredId) -> &Predicate {
         &self.preds[id.index()]
+    }
+
+    /// Looks up a predicate by id as a cheaply clonable shared handle.
+    pub fn get_arc(&self, id: PredId) -> Arc<Predicate> {
+        Arc::clone(&self.preds[id.index()])
     }
 
     /// Number of interned predicates.
@@ -62,6 +72,11 @@ impl PredicateStore {
     /// Materialises a set of ids into predicate clones.
     pub fn resolve(&self, ids: &[PredId]) -> Vec<Predicate> {
         ids.iter().map(|&i| self.get(i).clone()).collect()
+    }
+
+    /// Materialises a set of ids into shared handles (no deep clones).
+    pub fn resolve_arc(&self, ids: &[PredId]) -> Vec<Arc<Predicate>> {
+        ids.iter().map(|&i| self.get_arc(i)).collect()
     }
 }
 

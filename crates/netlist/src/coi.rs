@@ -13,7 +13,12 @@ use std::collections::BTreeSet;
 /// Computes the state and input support of a combinational node by walking
 /// its fanin cone.
 ///
-/// Returns sorted, deduplicated vectors.
+/// Returns vectors sorted ascending by id and deduplicated. The order is
+/// **guaranteed deterministic** — a pure function of the netlist, independent
+/// of traversal order (the collection goes through `BTreeSet`s) — because
+/// downstream consumers key on it: encoding-cache signatures and the
+/// parallel scheduler's cone-size priorities must see identical support
+/// lists run-to-run.
 pub fn node_support(netlist: &Netlist, root: NodeId) -> (Vec<StateId>, Vec<InputId>) {
     let mut seen = vec![false; netlist.num_nodes()];
     let mut states = BTreeSet::new();
@@ -77,6 +82,11 @@ impl Coi {
 
     /// `O_slice`: the union of 1-step cones of the given target variables —
     /// every state element that can influence any of them in one transition.
+    ///
+    /// The result is sorted ascending by id and deduplicated, regardless of
+    /// the order (or multiplicity) of `targets`: cache keys and the parallel
+    /// scheduler's deterministic cone-size priorities depend on this order
+    /// being a pure function of the netlist and the target *set*.
     pub fn one_step(&self, targets: &[StateId]) -> Vec<StateId> {
         let mut out = BTreeSet::new();
         for &t in targets {
@@ -88,6 +98,9 @@ impl Coi {
     /// The transitive (fixed-point) cone of influence of the given targets:
     /// all states that can ever influence them. Useful for sanity checks and
     /// for pruning designs before monolithic baseline runs.
+    ///
+    /// Like [`Coi::one_step`], the result is sorted ascending and
+    /// deduplicated — deterministic no matter the frontier exploration order.
     pub fn transitive(&self, targets: &[StateId]) -> Vec<StateId> {
         let mut reached: BTreeSet<StateId> = targets.iter().copied().collect();
         let mut frontier: Vec<StateId> = targets.to_vec();
@@ -165,6 +178,85 @@ mod tests {
         let (st, inp) = node_support(&n, y);
         assert_eq!(st, vec![a, b]);
         assert_eq!(inp.len(), 1);
+    }
+
+    /// Regression against brute force on pseudo-random netlists: `one_step`
+    /// must equal the sorted, deduplicated union of per-target
+    /// [`node_support`] calls, and `transitive` must equal a naive fixpoint
+    /// — both in guaranteed ascending order.
+    #[test]
+    fn one_step_and_transitive_match_brute_force_support() {
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // xorshift64*: deterministic, no external crates.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for trial in 0..8 {
+            let mut n = Netlist::new("rand");
+            let states: Vec<StateId> = (0..10)
+                .map(|i| n.state(format!("s{i}"), 4, Bv::zero(4)))
+                .collect();
+            let inputs: Vec<NodeId> = (0..3).map(|i| n.input(format!("i{i}"), 4)).collect();
+            for &s in &states {
+                // Random 2–4 leaf expression over states and inputs.
+                let mut leaves: Vec<NodeId> = Vec::new();
+                for _ in 0..(2 + next() % 3) {
+                    if next() % 4 == 0 {
+                        leaves.push(inputs[(next() % 3) as usize]);
+                    } else {
+                        leaves.push(n.state_node(states[(next() % 10) as usize]));
+                    }
+                }
+                let mut acc = leaves[0];
+                for &l in &leaves[1..] {
+                    acc = match next() % 3 {
+                        0 => n.and(acc, l),
+                        1 => n.add(acc, l),
+                        _ => n.xor(acc, l),
+                    };
+                }
+                n.set_next(s, acc);
+            }
+            let coi = Coi::new(&n);
+            // Random target sets, in shuffled order with duplicates.
+            for _ in 0..10 {
+                let mut targets: Vec<StateId> = (0..(1 + next() % 5))
+                    .map(|_| states[(next() % 10) as usize])
+                    .collect();
+                targets.push(targets[0]); // explicit duplicate
+
+                // Brute force one_step: union of per-target node_support.
+                let mut expect = BTreeSet::new();
+                for &t in &targets {
+                    let (st, _) = node_support(&n, n.next_of(t));
+                    expect.extend(st);
+                }
+                let expect: Vec<StateId> = expect.into_iter().collect();
+                let got = coi.one_step(&targets);
+                assert_eq!(got, expect, "trial {trial}: one_step != brute force");
+                assert!(got.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated");
+
+                // Brute force transitive: naive fixpoint over one_step.
+                let mut reach: BTreeSet<StateId> = targets.iter().copied().collect();
+                loop {
+                    let frontier: Vec<StateId> = reach.iter().copied().collect();
+                    let before = reach.len();
+                    for s in coi.one_step(&frontier) {
+                        reach.insert(s);
+                    }
+                    if reach.len() == before {
+                        break;
+                    }
+                }
+                let expect_t: Vec<StateId> = reach.into_iter().collect();
+                let got_t = coi.transitive(&targets);
+                assert_eq!(got_t, expect_t, "trial {trial}: transitive mismatch");
+                assert!(got_t.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
     }
 
     #[test]

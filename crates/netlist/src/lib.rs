@@ -45,6 +45,7 @@ pub mod btor2;
 pub mod coi;
 pub mod eval;
 pub mod miter;
+pub mod signature;
 pub mod simp;
 
 pub use bv::{Bv, MAX_WIDTH};

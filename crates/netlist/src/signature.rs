@@ -1,0 +1,371 @@
+//! Canonical cone signatures — structural hashing of sliced 1-step cones.
+//!
+//! Real designs are full of structurally identical cones: replicated
+//! pipeline registers, per-entry queue slots, the left/right symmetry of a
+//! miter. Each such cone bit-blasts to an *isomorphic* CNF, differing only
+//! in variable numbering. A [`SigBuilder`] serialises a cone into a token
+//! stream that is invariant under node renaming: it walks the cone exactly
+//! the way the bit-blaster does (post-order over [`SimpMap`]
+//! representatives), numbering internal nodes in emission order and
+//! state/input leaves in first-use order.
+//!
+//! Two cones with equal token streams ([`ConeSignature::key`]) are
+//! structurally isomorphic, and because the blaster's traversal is a pure
+//! function of this same structure, they produce **identical** CNF — same
+//! variable numbering, same clauses in the same order — when each is encoded
+//! into a fresh solver. That is what lets `hh-smt`'s encoding cache replay a
+//! cached clause trace for a signature-equal cone instead of re-running
+//! Tseitin, and lets learned clauses transfer between the cones' solvers
+//! under the *identity* variable renaming.
+//!
+//! The [`ConeWitness`] is the isomorphism map: position `k` of its vectors
+//! records which concrete [`StateId`]/[`InputId`]/[`NodeId`] received
+//! canonical index `k`, so corresponding leaves of two signature-equal cones
+//! sit at the same canonical index.
+
+use crate::netlist::{InputId, Netlist, NodeId, NodeOp, StateId};
+use crate::simp::{Repr, SimpMap};
+use std::collections::HashMap;
+
+// Token tags. Every emitted item starts with one of these, followed by a
+// fixed number of payload words (per tag), so the token stream is an
+// unambiguous serialisation: equal streams ⇔ equal cone structure.
+const T_OPER_CONST: u64 = 1;
+const T_OPER_NODE: u64 = 2;
+const T_GATE: u64 = 3;
+const T_STATE_LEAF: u64 = 4;
+const T_INPUT_LEAF: u64 = 5;
+const T_ROOT: u64 = 6;
+
+/// The isomorphism witness of a [`ConeSignature`]: for each canonical index,
+/// the concrete id that received it. Two cones with equal keys correspond
+/// leaf-by-leaf and node-by-node through these vectors.
+#[derive(Debug, Clone, Default)]
+pub struct ConeWitness {
+    /// State elements in canonical (first-use) order.
+    pub states: Vec<StateId>,
+    /// Inputs in canonical (first-use) order.
+    pub inputs: Vec<InputId>,
+    /// Encoded leader nodes in canonical (emission) order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A finished signature: the renaming-invariant key plus the witness map.
+#[derive(Debug, Clone)]
+pub struct ConeSignature {
+    /// The token stream; usable directly as a hash-map key. Equal keys imply
+    /// the cones are structurally isomorphic under the witness map.
+    pub key: Vec<u64>,
+    /// The canonical-index-to-concrete-id map.
+    pub witness: ConeWitness,
+}
+
+/// Incremental builder of a [`ConeSignature`].
+///
+/// Callers drive it in the exact order the bit-blaster would encode: state
+/// fetches via [`SigBuilder::state`], cone roots via [`SigBuilder::root`],
+/// and any caller-level structure (predicate shape, assertion markers) via
+/// [`SigBuilder::push`]. Determinism: the traversal below mirrors
+/// `TransitionEncoding::node_lits_of` — iterative post-order with operands
+/// resolved through the [`SimpMap`] — so the canonical numbering is a pure
+/// function of the netlist, the simplification map and the call sequence.
+#[derive(Debug)]
+pub struct SigBuilder<'a> {
+    netlist: &'a Netlist,
+    simp: &'a SimpMap,
+    tokens: Vec<u64>,
+    node_slot: HashMap<NodeId, u64>,
+    state_slot: HashMap<StateId, u64>,
+    input_slot: HashMap<InputId, u64>,
+    witness: ConeWitness,
+}
+
+impl<'a> SigBuilder<'a> {
+    /// Creates an empty builder over a netlist and its simplification map.
+    pub fn new(netlist: &'a Netlist, simp: &'a SimpMap) -> SigBuilder<'a> {
+        SigBuilder {
+            netlist,
+            simp,
+            tokens: Vec::new(),
+            node_slot: HashMap::new(),
+            state_slot: HashMap::new(),
+            input_slot: HashMap::new(),
+            witness: ConeWitness::default(),
+        }
+    }
+
+    /// Appends a raw caller token (predicate shape, assertion marker, …).
+    pub fn push(&mut self, token: u64) {
+        self.tokens.push(token);
+    }
+
+    /// Canonical index of a state element, assigned on first use. The
+    /// first-use order matches the blaster's `state_lits` variable
+    /// allocation order when driven by the same call sequence.
+    pub fn state(&mut self, s: StateId) -> u64 {
+        if let Some(&k) = self.state_slot.get(&s) {
+            return k;
+        }
+        let k = self.witness.states.len() as u64;
+        self.state_slot.insert(s, k);
+        self.witness.states.push(s);
+        k
+    }
+
+    fn input(&mut self, i: InputId) -> u64 {
+        if let Some(&k) = self.input_slot.get(&i) {
+            return k;
+        }
+        let k = self.witness.inputs.len() as u64;
+        self.input_slot.insert(i, k);
+        self.witness.inputs.push(i);
+        k
+    }
+
+    /// Serialises the cone under `root`, mirroring the blaster's traversal:
+    /// resolve through the [`SimpMap`], skip already-emitted leaders,
+    /// iterative post-order over representatives, then a root reference.
+    pub fn root(&mut self, root: NodeId) {
+        let leader = match self.simp.repr(root) {
+            Repr::Const(c) => {
+                self.tokens.push(T_ROOT);
+                self.const_desc(c.width(), c.bits());
+                return;
+            }
+            Repr::Node(r) => r,
+        };
+        if !self.node_slot.contains_key(&leader) {
+            let mut stack: Vec<(NodeId, bool)> = vec![(leader, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if self.node_slot.contains_key(&id) {
+                    continue;
+                }
+                if !expanded {
+                    stack.push((id, true));
+                    for op in self.netlist.operands(id) {
+                        if let Repr::Node(r) = self.simp.repr(op) {
+                            if !self.node_slot.contains_key(&r) {
+                                stack.push((r, false));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                self.emit_node(id);
+            }
+        }
+        self.tokens.push(T_ROOT);
+        self.tokens.push(T_OPER_NODE);
+        self.tokens.push(self.node_slot[&leader]);
+    }
+
+    /// Finishes the signature.
+    pub fn finish(self) -> ConeSignature {
+        ConeSignature {
+            key: self.tokens,
+            witness: self.witness,
+        }
+    }
+
+    fn const_desc(&mut self, width: u32, bits: u64) {
+        self.tokens.push(T_OPER_CONST);
+        self.tokens.push(u64::from(width));
+        self.tokens.push(bits);
+    }
+
+    fn operand_desc(&mut self, op: NodeId) {
+        match self.simp.repr(op) {
+            Repr::Const(c) => self.const_desc(c.width(), c.bits()),
+            Repr::Node(r) => {
+                self.tokens.push(T_OPER_NODE);
+                self.tokens
+                    .push(*self.node_slot.get(&r).expect("operand emitted first"));
+            }
+        }
+    }
+
+    /// Emits one leader node (operands already emitted) and assigns its
+    /// canonical index.
+    fn emit_node(&mut self, id: NodeId) {
+        let node = self.netlist.node(id);
+        let w = u64::from(node.width);
+        match node.op {
+            NodeOp::Input(i) => {
+                let slot = self.input(i);
+                self.tokens.extend([T_INPUT_LEAF, slot, w]);
+            }
+            NodeOp::State(s) => {
+                let slot = self.state(s);
+                self.tokens.extend([T_STATE_LEAF, slot, w]);
+            }
+            // A constant node's repr is always `Repr::Const`, so it can
+            // never be a leader; serialise by value anyway for safety.
+            NodeOp::Const(c) => {
+                self.tokens.push(T_GATE);
+                self.tokens.push(0);
+                self.const_desc(c.width(), c.bits());
+            }
+            op => {
+                self.tokens.extend([T_GATE, op_tag(op), w]);
+                if let NodeOp::Slice(_, hi, lo) = op {
+                    self.tokens.push(u64::from(hi));
+                    self.tokens.push(u64::from(lo));
+                }
+                for operand in self.netlist.operands(id) {
+                    self.operand_desc(operand);
+                }
+            }
+        }
+        let k = self.witness.nodes.len() as u64;
+        self.node_slot.insert(id, k);
+        self.witness.nodes.push(id);
+    }
+}
+
+/// Stable per-operator tag for the token stream.
+fn op_tag(op: NodeOp) -> u64 {
+    match op {
+        NodeOp::Input(_) | NodeOp::State(_) | NodeOp::Const(_) => 0,
+        NodeOp::Not(_) => 2,
+        NodeOp::Neg(_) => 3,
+        NodeOp::RedOr(_) => 4,
+        NodeOp::RedAnd(_) => 5,
+        NodeOp::RedXor(_) => 6,
+        NodeOp::And(..) => 7,
+        NodeOp::Or(..) => 8,
+        NodeOp::Xor(..) => 9,
+        NodeOp::Add(..) => 10,
+        NodeOp::Sub(..) => 11,
+        NodeOp::Mul(..) => 12,
+        NodeOp::Eq(..) => 13,
+        NodeOp::Ult(..) => 14,
+        NodeOp::Slt(..) => 15,
+        NodeOp::Shl(..) => 16,
+        NodeOp::Lshr(..) => 17,
+        NodeOp::Ashr(..) => 18,
+        NodeOp::Ite(..) => 19,
+        NodeOp::Concat(..) => 20,
+        NodeOp::Slice(..) => 21,
+        NodeOp::Uext(_) => 22,
+        NodeOp::Sext(_) => 23,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+
+    /// Two structurally identical register cones (`ri' = (ri + x) & k`) plus
+    /// one that differs in a constant.
+    fn replicated() -> (Netlist, [StateId; 3]) {
+        let mut n = Netlist::new("rep");
+        let x = n.input("x", 8);
+        let mut regs = Vec::new();
+        for (name, k) in [("a", 0x0f), ("b", 0x0f), ("c", 0x3f)] {
+            let r = n.state(name, 8, Bv::zero(8));
+            let rn = n.state_node(r);
+            let sum = n.add(rn, x);
+            let mask = n.c(8, k);
+            let nxt = n.and(sum, mask);
+            n.set_next(r, nxt);
+            regs.push(r);
+        }
+        (n, [regs[0], regs[1], regs[2]])
+    }
+
+    fn sig_of(n: &Netlist, simp: &SimpMap, s: StateId) -> ConeSignature {
+        let mut b = SigBuilder::new(n, simp);
+        b.state(s);
+        b.root(n.next_of(s));
+        b.finish()
+    }
+
+    #[test]
+    fn isomorphic_cones_share_a_key() {
+        let (n, [a, b, c]) = replicated();
+        let simp = SimpMap::build(&n);
+        let sa = sig_of(&n, &simp, a);
+        let sb = sig_of(&n, &simp, b);
+        let sc = sig_of(&n, &simp, c);
+        assert_eq!(sa.key, sb.key, "renamed twins must collide");
+        assert_ne!(sa.key, sc.key, "different mask constant must split");
+        // The witness maps canonical indices onto *different* concrete ids.
+        assert_eq!(sa.witness.states, vec![a]);
+        assert_eq!(sb.witness.states, vec![b]);
+        assert_eq!(sa.witness.nodes.len(), sb.witness.nodes.len());
+        assert_ne!(sa.witness.nodes, sb.witness.nodes);
+    }
+
+    #[test]
+    fn leaf_numbering_is_first_use_order() {
+        let mut n = Netlist::new("t");
+        let p = n.state("p", 4, Bv::zero(4));
+        let q = n.state("q", 4, Bv::zero(4));
+        let pn = n.state_node(p);
+        let qn = n.state_node(q);
+        let sum = n.add(qn, pn);
+        n.set_next(p, sum);
+        n.keep_state(q);
+        let simp = SimpMap::build(&n);
+        let mut b = SigBuilder::new(&n, &simp);
+        b.state(p); // caller fetches the target's current value first
+        b.root(n.next_of(p));
+        let sig = b.finish();
+        assert_eq!(sig.witness.states[0], p, "explicit fetch numbers first");
+        assert!(sig.witness.states.contains(&q));
+    }
+
+    #[test]
+    fn caller_tokens_split_keys() {
+        let (n, [a, b, _]) = replicated();
+        let simp = SimpMap::build(&n);
+        let mut b1 = SigBuilder::new(&n, &simp);
+        b1.root(n.next_of(a));
+        b1.push(7);
+        let mut b2 = SigBuilder::new(&n, &simp);
+        b2.root(n.next_of(b));
+        b2.push(8);
+        assert_ne!(b1.finish().key, b2.finish().key);
+    }
+
+    #[test]
+    fn constant_roots_serialise_by_value() {
+        let mut n = Netlist::new("t");
+        let r = n.state("r", 4, Bv::zero(4));
+        let k = n.c(4, 5);
+        n.set_next(r, k);
+        let s = n.state("s", 4, Bv::zero(4));
+        let k2 = n.c(4, 9);
+        n.set_next(s, k2);
+        let simp = SimpMap::build(&n);
+        let sr = sig_of(&n, &simp, r);
+        let ss = sig_of(&n, &simp, s);
+        assert_ne!(sr.key, ss.key);
+        assert!(sr.witness.nodes.is_empty());
+    }
+
+    #[test]
+    fn shared_subcones_emit_once() {
+        // Two roots over the same multiplier: the second root call must not
+        // re-emit the shared leader, mirroring the blaster's node cache.
+        let mut n = Netlist::new("t");
+        let a = n.state("a", 8, Bv::zero(8));
+        let b = n.state("b", 8, Bv::zero(8));
+        let an = n.state_node(a);
+        let bn = n.state_node(b);
+        let m = n.mul(an, bn);
+        let one = n.c(8, 1);
+        let m1 = n.add(m, one);
+        n.set_next(a, m);
+        n.set_next(b, m1);
+        let simp = SimpMap::build(&n);
+        let mut bld = SigBuilder::new(&n, &simp);
+        bld.root(n.next_of(a));
+        let after_first = bld.witness.nodes.len();
+        bld.root(n.next_of(b));
+        let sig = bld.finish();
+        // Only the add gate is new; the multiplier and leaves are shared.
+        assert_eq!(sig.witness.nodes.len(), after_first + 1);
+    }
+}

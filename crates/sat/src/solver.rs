@@ -398,6 +398,75 @@ impl Solver {
     }
 
     // ------------------------------------------------------------------
+    // Learned-clause export / import
+    // ------------------------------------------------------------------
+
+    /// Exports the solver's conflict knowledge over a chosen variable set:
+    /// every learnt clause (and every level-0 implied unit) whose literals
+    /// all satisfy `keep` and mention no eliminated variable.
+    ///
+    /// Soundness: learnt clauses and level-0 units are logical consequences
+    /// of the clauses added so far, so any subset of them is implied by the
+    /// formula and may be replayed into any solver holding an equisatisfiable
+    /// superset of that formula over the same variables (in particular, an
+    /// isomorphic encoding of the same cone) without changing any solve
+    /// outcome. Callers restrict `keep` to shared base variables so clauses
+    /// over caller-private variables (e.g. activation indicators) never leak.
+    ///
+    /// Must be called at decision level 0 (i.e. outside a solve; every
+    /// `solve_with_assumptions` call backtracks to level 0 before returning).
+    /// The export order — trail units first, then learnt clauses in
+    /// allocation order — is deterministic for a deterministic query history.
+    pub fn export_learnt<F: FnMut(Var) -> bool>(&self, mut keep: F) -> Vec<Vec<Lit>> {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut out = Vec::new();
+        // Level-0 trail prefix: units the solver has proved outright.
+        let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..bound] {
+            let v = l.var();
+            if keep(v) && !self.eliminated[v.index()] {
+                out.push(vec![l]);
+            }
+        }
+        for cref in self.db.learnt_refs() {
+            let lits = &self.db.get(cref).lits;
+            if lits
+                .iter()
+                .all(|l| keep(l.var()) && !self.eliminated[l.var().index()])
+            {
+                out.push(lits.clone());
+            }
+        }
+        out
+    }
+
+    /// Imports clauses previously produced by [`Solver::export_learnt`] on an
+    /// isomorphic solver (same variable numbering for the shared prefix).
+    ///
+    /// Each clause must be logically implied by this solver's formula — the
+    /// caller guarantees this by only transferring between sessions whose
+    /// base encodings are structurally identical. The clauses are added as
+    /// ordinary (non-learnt) clauses so they survive clause-database
+    /// reduction and are never re-exported as fresh knowledge. Returns the
+    /// number of clauses actually added (tautologies and already-satisfied
+    /// clauses are filtered by [`Solver::add_clause`]).
+    pub fn import_clauses(&mut self, clauses: &[Vec<Lit>]) -> usize {
+        let mut added = 0;
+        for cl in clauses {
+            let before = self.db.len() + self.trail.len();
+            if !self.add_clause(cl) {
+                // An implied clause can still expose unsatisfiability that
+                // this solver simply had not derived yet; record it and stop.
+                return added;
+            }
+            if self.db.len() + self.trail.len() > before {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    // ------------------------------------------------------------------
     // Inprocessing
     // ------------------------------------------------------------------
 

@@ -9,20 +9,24 @@
 //! machinery can be forced to encode the whole design up front to reproduce
 //! the monolithic cost model.
 
+use crate::cache::EncodedCone;
 use crate::cnf::Cnf;
+use hh_netlist::signature::ConeWitness;
 use hh_netlist::simp::{Repr, SimpMap, SimpStats};
 use hh_netlist::{Bv, Netlist, NodeId, NodeOp, StateId};
 use hh_sat::Lit;
+use std::sync::Arc;
 
 /// One-step transition encoding over an embedded CNF builder.
 #[derive(Debug)]
 pub struct TransitionEncoding<'a> {
     netlist: &'a Netlist,
     cnf: Cnf,
-    /// Word-level simplification (constant folding + strash) computed once
-    /// up front; every encoding request resolves through it, so folded
-    /// nodes cost nothing and structurally identical cones encode once.
-    simp: SimpMap,
+    /// Word-level simplification (constant folding + strash); every encoding
+    /// request resolves through it, so folded nodes cost nothing and
+    /// structurally identical cones encode once. Shared (`Arc`) so an
+    /// engine-wide `EncodeCache` builds it once instead of once per session.
+    simp: Arc<SimpMap>,
     node_lits: Vec<Option<Vec<Lit>>>,
     state_vars: Vec<Option<Vec<Lit>>>,
     input_vars: Vec<Option<Vec<Lit>>>,
@@ -32,19 +36,120 @@ impl<'a> TransitionEncoding<'a> {
     /// Creates an encoding for `netlist` with all environment assumptions
     /// ([`Netlist::constraints`]) asserted. Nothing else is blasted yet.
     pub fn new(netlist: &'a Netlist) -> TransitionEncoding<'a> {
+        Self::with_simp(netlist, Arc::new(SimpMap::build(netlist)), false)
+    }
+
+    /// Like [`TransitionEncoding::new`] but over a pre-built simplification
+    /// map. With `record`, every clause added from here on is logged so the
+    /// base encoding can be harvested into an `EncodeCache` entry.
+    pub(crate) fn with_simp(
+        netlist: &'a Netlist,
+        simp: Arc<SimpMap>,
+        record: bool,
+    ) -> TransitionEncoding<'a> {
         let mut enc = TransitionEncoding {
             netlist,
             cnf: Cnf::new(),
-            simp: SimpMap::build(netlist),
+            simp,
             node_lits: vec![None; netlist.num_nodes()],
             state_vars: vec![None; netlist.num_states()],
             input_vars: vec![None; netlist.num_inputs()],
         };
+        if record {
+            enc.cnf.start_recording();
+        }
         for &c in netlist.constraints() {
             let lits = enc.node_lits_of(c);
             enc.assert_lit(lits[0]);
         }
         enc
+    }
+
+    /// Rebuilds an encoding from a cached base record of a signature-equal
+    /// target. The replayed solver state is byte-identical to what a fresh
+    /// build would produce (see [`Cnf::restore`]); `witness` maps the
+    /// record's canonical indices onto *this* target's concrete ids.
+    ///
+    /// The caller must not re-assert constraints or re-encode the target —
+    /// those clauses are part of the replayed record.
+    pub(crate) fn from_cache(
+        netlist: &'a Netlist,
+        simp: Arc<SimpMap>,
+        entry: &EncodedCone,
+        witness: &ConeWitness,
+    ) -> TransitionEncoding<'a> {
+        let cnf = Cnf::restore(
+            entry.n_vars,
+            &entry.clauses,
+            entry.and_cache.clone(),
+            entry.xor_cache.clone(),
+        );
+        let mut node_lits = vec![None; netlist.num_nodes()];
+        for (k, &id) in witness.nodes.iter().enumerate() {
+            node_lits[id.index()] = Some(entry.node_lits[k].clone());
+        }
+        let mut state_vars = vec![None; netlist.num_states()];
+        for (k, &s) in witness.states.iter().enumerate() {
+            state_vars[s.index()] = Some(entry.state_lits[k].clone());
+        }
+        let mut input_vars = vec![None; netlist.num_inputs()];
+        for (k, &i) in witness.inputs.iter().enumerate() {
+            input_vars[i.index()] = Some(entry.input_lits[k].clone());
+        }
+        TransitionEncoding {
+            netlist,
+            cnf,
+            simp,
+            node_lits,
+            state_vars,
+            input_vars,
+        }
+    }
+
+    /// Harvests the recorded base encoding into a cache entry. `witness`
+    /// lists exactly the leaders/states/inputs this encoding touched, in
+    /// canonical order; a signature-equal target restores them positionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the witness mentions anything this encoding never built —
+    /// that would mean the signature serialisation diverged from the
+    /// blaster's traversal, which would corrupt the cache.
+    pub(crate) fn harvest(&mut self, witness: &ConeWitness) -> EncodedCone {
+        let (and_cache, xor_cache) = self.cnf.gate_caches();
+        EncodedCone {
+            n_vars: self.cnf.solver().num_vars(),
+            clauses: self.cnf.take_recording(),
+            node_lits: witness
+                .nodes
+                .iter()
+                .map(|id| {
+                    self.node_lits[id.index()]
+                        .clone()
+                        .expect("witness node was encoded")
+                })
+                .collect(),
+            state_lits: witness
+                .states
+                .iter()
+                .map(|s| {
+                    self.state_vars[s.index()]
+                        .clone()
+                        .expect("witness state was allocated")
+                })
+                .collect(),
+            input_lits: witness
+                .inputs
+                .iter()
+                .map(|i| {
+                    self.input_vars[i.index()]
+                        .clone()
+                        .expect("witness input was allocated")
+                })
+                .collect(),
+            and_cache,
+            xor_cache,
+        }
     }
 
     /// Word-level simplification counters (constant folds, rewrites,

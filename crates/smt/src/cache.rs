@@ -1,0 +1,320 @@
+//! Cross-target encoding cache and learned-clause pools.
+//!
+//! Real designs are full of structurally identical 1-step cones (replicated
+//! pipeline registers, per-entry queue slots, miter left/right symmetry).
+//! Each such cone bit-blasts to the *same* CNF — the traversal in
+//! [`crate::TransitionEncoding`] is a pure function of post-`SimpMap`
+//! structure — so blasting it once per target is wasted work. An
+//! [`EncodeCache`] shared by every [`crate::AbductionSession`] of a learn run
+//! fixes that:
+//!
+//! * **Encoding replay.** The first session to build a given cone shape
+//!   records its base encoding — the ordered clause stream plus the
+//!   state/input/node literal tables and gate hash-cons caches — keyed by the
+//!   cone's [`ConeSignature`]. Signature-equal targets *replay* that record
+//!   into their fresh solver instead of re-running Tseitin.
+//! * **Identity renaming.** Every session starts from an empty solver, and
+//!   the blaster allocates variables in traversal order, so signature-equal
+//!   cones receive *identical* variable numbering. Replay therefore needs no
+//!   renaming arithmetic, and — crucially for reproducibility — a cache hit
+//!   yields a solver state byte-identical to the one a miss would have
+//!   built. Learned invariants cannot depend on cache on/off or on which
+//!   thread populated an entry first; only the telemetry differs.
+//! * **Learned-clause transfer.** Per signature, a bounded pool of learnt
+//!   clauses exported from finished sessions ([`hh_sat::Solver::export_learnt`]).
+//!   A later signature-equal session imports them (identity renaming again)
+//!   so cone N+1 starts with cone N's conflict knowledge. Exported clauses
+//!   are logical consequences of the shared base formula, so importing them
+//!   never changes a solve outcome (see `export_learnt` for the argument).
+//!
+//! The cache is engine-lifetime shared state behind plain [`Mutex`]es: entry
+//! construction happens off-lock, the critical sections are map lookups and
+//! inserts.
+
+use crate::pred::Predicate;
+use crate::query::EncodeScope;
+use hh_netlist::signature::{ConeSignature, SigBuilder};
+use hh_netlist::simp::SimpMap;
+use hh_netlist::{Netlist, StateId};
+use hh_sat::Lit;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// Caller-level tokens for predicate shape; disjoint from the structural tags
+// used inside `SigBuilder` so the streams cannot alias.
+const TOK_CONSTRAINT: u64 = 101;
+const TOK_MONO: u64 = 102;
+const TOK_ASSERT_NOW: u64 = 103;
+const TOK_ASSERT_NEXT: u64 = 104;
+const TOK_EQ: u64 = 105;
+const TOK_EQC: u64 = 106;
+const TOK_INSET: u64 = 107;
+const TOK_IMPL: u64 = 108;
+const TOK_CUR: u64 = 109;
+const TOK_NEXT: u64 = 110;
+
+/// A harvested base encoding: everything needed to rebuild a session's
+/// solver state for a signature-equal target without re-running Tseitin.
+#[derive(Debug)]
+pub struct EncodedCone {
+    /// Solver variable count after the base build.
+    pub(crate) n_vars: usize,
+    /// Every clause added after `Cnf::new`, in insertion order.
+    pub(crate) clauses: Vec<Vec<Lit>>,
+    /// Literals of each encoded leader node, in the witness's canonical
+    /// node order.
+    pub(crate) node_lits: Vec<Vec<Lit>>,
+    /// Current-state literals, in the witness's canonical state order.
+    pub(crate) state_lits: Vec<Vec<Lit>>,
+    /// Input literals, in the witness's canonical input order.
+    pub(crate) input_lits: Vec<Vec<Lit>>,
+    /// AND-gate hash-cons cache at harvest time.
+    pub(crate) and_cache: HashMap<(Lit, Lit), Lit>,
+    /// XOR-gate hash-cons cache at harvest time.
+    pub(crate) xor_cache: HashMap<(Lit, Lit), Lit>,
+}
+
+/// Bounds on the per-signature learnt-clause pool: short clauses propagate
+/// the most per literal, and a bounded pool keeps import cost predictable.
+const POOL_MAX_CLAUSES: usize = 256;
+const POOL_MAX_LEN: usize = 8;
+
+/// Deduplicated, bounded pool of learnt clauses for one cone signature.
+#[derive(Debug, Default)]
+struct ClausePool {
+    clauses: Vec<Vec<Lit>>,
+    seen: HashSet<Vec<Lit>>,
+}
+
+impl ClausePool {
+    fn absorb(&mut self, clause: &[Lit]) -> bool {
+        if clause.len() > POOL_MAX_LEN || self.clauses.len() >= POOL_MAX_CLAUSES {
+            return false;
+        }
+        let mut key = clause.to_vec();
+        key.sort_unstable_by_key(|l| l.code());
+        if !self.seen.insert(key) {
+            return false;
+        }
+        self.clauses.push(clause.to_vec());
+        true
+    }
+}
+
+/// Aggregate cache telemetry, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Base encodings served by replay.
+    pub hits: u64,
+    /// Base encodings built fresh (and recorded).
+    pub misses: u64,
+    /// SAT variables whose allocation a replay skipped re-deriving.
+    pub vars_saved: u64,
+    /// Clauses a replay spared the Tseitin encoder.
+    pub clauses_saved: u64,
+    /// Learnt clauses exported into pools.
+    pub exported_clauses: u64,
+    /// Learnt clauses imported from pools into fresh sessions.
+    pub imported_clauses: u64,
+}
+
+/// Thread-shared cross-target encoding cache + learnt-clause pools.
+///
+/// One instance serves one learn run over one netlist: the embedded
+/// [`SimpMap`] is built once and shared by every session (itself a saving —
+/// PR 2 built it per session), and cache keys are only meaningful relative
+/// to it.
+#[derive(Debug)]
+pub struct EncodeCache {
+    simp: Arc<SimpMap>,
+    entries: Mutex<HashMap<Vec<u64>, Arc<EncodedCone>>>,
+    pools: Mutex<HashMap<Vec<u64>, ClausePool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    vars_saved: AtomicU64,
+    clauses_saved: AtomicU64,
+    exported: AtomicU64,
+    imported: AtomicU64,
+}
+
+impl EncodeCache {
+    /// Builds a cache (and the shared word-level simplification map) for a
+    /// netlist.
+    pub fn new(netlist: &Netlist) -> EncodeCache {
+        EncodeCache {
+            simp: Arc::new(SimpMap::build(netlist)),
+            entries: Mutex::new(HashMap::new()),
+            pools: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            vars_saved: AtomicU64::new(0),
+            clauses_saved: AtomicU64::new(0),
+            exported: AtomicU64::new(0),
+            imported: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared word-level simplification map.
+    pub fn simp(&self) -> Arc<SimpMap> {
+        Arc::clone(&self.simp)
+    }
+
+    /// Computes the canonical signature of `target`'s base encoding: the
+    /// constraint cones, the optional monolithic sweep, and the predicate's
+    /// current/next fetches, serialised in the exact order
+    /// [`crate::AbductionSession`] encodes them.
+    pub fn signature(
+        &self,
+        netlist: &Netlist,
+        target: &Predicate,
+        scope: EncodeScope,
+    ) -> ConeSignature {
+        signature(netlist, &self.simp, target, scope)
+    }
+
+    /// Looks up a recorded base encoding for `key`.
+    pub(crate) fn lookup(&self, key: &[u64]) -> Option<Arc<EncodedCone>> {
+        let entry = self.entries.lock().unwrap().get(key).cloned();
+        match &entry {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.vars_saved
+                    .fetch_add(e.n_vars as u64, Ordering::Relaxed);
+                self.clauses_saved
+                    .fetch_add(e.clauses.len() as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entry
+    }
+
+    /// Records a freshly built base encoding (first writer wins; a racing
+    /// duplicate is identical by construction, so either copy serves).
+    pub(crate) fn insert(&self, key: Vec<u64>, entry: EncodedCone) {
+        self.entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(entry));
+    }
+
+    /// Adds exported learnt clauses to the pool for `key`; returns how many
+    /// were actually absorbed (dedup + bounds).
+    pub fn export_to_pool(&self, key: &[u64], clauses: &[Vec<Lit>]) -> usize {
+        let mut pools = self.pools.lock().unwrap();
+        let pool = pools.entry(key.to_vec()).or_default();
+        let n = clauses.iter().filter(|c| pool.absorb(c)).count();
+        self.exported.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Snapshot of the pool for `key`, in absorption order.
+    pub fn pool_snapshot(&self, key: &[u64]) -> Vec<Vec<Lit>> {
+        let pools = self.pools.lock().unwrap();
+        let out = pools
+            .get(key)
+            .map(|p| p.clauses.clone())
+            .unwrap_or_default();
+        self.imported.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Current aggregate telemetry.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            vars_saved: self.vars_saved.load(Ordering::Relaxed),
+            clauses_saved: self.clauses_saved.load(Ordering::Relaxed),
+            exported_clauses: self.exported.load(Ordering::Relaxed),
+            imported_clauses: self.imported.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serialises the base encoding a session would build for `target`:
+/// constraints first (they are asserted by `TransitionEncoding::new`), then
+/// the monolithic sweep if requested, then the predicate's current-state
+/// fetch, then its next-state fetch. Equal results guarantee the two base
+/// builds produce byte-identical solver states (identity variable renaming).
+pub fn signature(
+    netlist: &Netlist,
+    simp: &SimpMap,
+    target: &Predicate,
+    scope: EncodeScope,
+) -> ConeSignature {
+    let mut b = SigBuilder::new(netlist, simp);
+    for &c in netlist.constraints() {
+        b.push(TOK_CONSTRAINT);
+        b.root(c);
+    }
+    if scope == EncodeScope::Monolithic {
+        b.push(TOK_MONO);
+        for s in netlist.state_ids() {
+            b.root(netlist.next_of(s));
+        }
+    }
+    b.push(TOK_ASSERT_NOW);
+    sig_predicate(&mut b, netlist, target, false);
+    b.push(TOK_ASSERT_NEXT);
+    sig_predicate(&mut b, netlist, target, true);
+    b.finish()
+}
+
+/// Mirrors `Predicate::encode`: shape tokens, then the state fetches in
+/// encode order (guards before body for `Impl`).
+fn sig_predicate(b: &mut SigBuilder<'_>, netlist: &Netlist, pred: &Predicate, next: bool) {
+    let fetch = |b: &mut SigBuilder<'_>, s: StateId| {
+        if next {
+            b.push(TOK_NEXT);
+            b.root(netlist.next_of(s));
+        } else {
+            b.push(TOK_CUR);
+            let slot = b.state(s);
+            b.push(slot);
+        }
+    };
+    match pred {
+        Predicate::Impl {
+            guard_left,
+            guard_right,
+            body,
+        } => {
+            b.push(TOK_IMPL);
+            fetch(b, *guard_left);
+            fetch(b, *guard_right);
+            sig_predicate(b, netlist, body, next);
+        }
+        Predicate::Eq { left, right } => {
+            b.push(TOK_EQ);
+            fetch(b, *left);
+            fetch(b, *right);
+        }
+        Predicate::EqConst { left, right, value } => {
+            b.push(TOK_EQC);
+            b.push(u64::from(value.width()));
+            b.push(value.bits());
+            fetch(b, *left);
+            fetch(b, *right);
+        }
+        // The label is provenance only — it does not influence the encoding.
+        Predicate::InSet {
+            left,
+            right,
+            patterns,
+            ..
+        } => {
+            b.push(TOK_INSET);
+            b.push(patterns.len() as u64);
+            for p in patterns {
+                b.push(p.mask);
+                b.push(p.value);
+            }
+            fetch(b, *left);
+            fetch(b, *right);
+        }
+    }
+}

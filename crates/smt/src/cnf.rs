@@ -8,13 +8,20 @@
 use hh_sat::{Lit, Solver};
 use std::collections::HashMap;
 
+/// A hash-cons table mapping normalised gate input pairs to output literals.
+pub(crate) type GateCache = HashMap<(Lit, Lit), Lit>;
+
 /// A CNF builder over an embedded SAT solver.
 #[derive(Debug)]
 pub struct Cnf {
     solver: Solver,
     true_lit: Lit,
-    and_cache: HashMap<(Lit, Lit), Lit>,
-    xor_cache: HashMap<(Lit, Lit), Lit>,
+    and_cache: GateCache,
+    xor_cache: GateCache,
+    /// When recording, every clause added after [`Cnf::new`]'s true-literal
+    /// unit is appended here in order, so an identical builder state can be
+    /// replayed later by [`Cnf::restore`].
+    recording: Option<Vec<Vec<Lit>>>,
 }
 
 impl Default for Cnf {
@@ -34,7 +41,56 @@ impl Cnf {
             true_lit,
             and_cache: HashMap::new(),
             xor_cache: HashMap::new(),
+            recording: None,
         }
+    }
+
+    /// Rebuilds a builder whose solver state is byte-identical to one that
+    /// produced `n_vars` variables and the recorded `clauses` (in order)
+    /// through the normal gate API.
+    ///
+    /// Variables are created in index order and clauses replayed in the
+    /// original order; since clause insertion neither bumps branching
+    /// activity nor depends on anything but insertion order, the resulting
+    /// solver — clause arena, watchlists, level-0 trail, variable heap — is
+    /// exactly what the recording builder held. The gate caches are installed
+    /// verbatim so subsequent gate requests keep hash-consing against the
+    /// replayed structure.
+    pub(crate) fn restore(
+        n_vars: usize,
+        clauses: &[Vec<Lit>],
+        and_cache: GateCache,
+        xor_cache: GateCache,
+    ) -> Cnf {
+        let mut cnf = Cnf::new();
+        while cnf.solver.num_vars() < n_vars {
+            cnf.solver.new_var();
+        }
+        for cl in clauses {
+            cnf.solver.add_clause(cl);
+        }
+        cnf.and_cache = and_cache;
+        cnf.xor_cache = xor_cache;
+        cnf
+    }
+
+    /// Starts recording every subsequently added clause for later replay.
+    pub(crate) fn start_recording(&mut self) {
+        self.recording = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the ordered clause log (empty if
+    /// recording was never started).
+    pub(crate) fn take_recording(&mut self) -> Vec<Vec<Lit>> {
+        self.recording.take().unwrap_or_default()
+    }
+
+    /// Single funnel for clause insertion so recording sees every clause.
+    fn add(&mut self, lits: &[Lit]) {
+        if let Some(rec) = &mut self.recording {
+            rec.push(lits.to_vec());
+        }
+        self.solver.add_clause(lits);
     }
 
     /// The literal that is constant true.
@@ -68,7 +124,12 @@ impl Cnf {
 
     /// Adds a clause directly.
     pub fn clause(&mut self, lits: &[Lit]) {
-        self.solver.add_clause(lits);
+        self.add(lits);
+    }
+
+    /// Snapshots the gate hash-cons caches (for encoding-cache harvest).
+    pub(crate) fn gate_caches(&self) -> (GateCache, GateCache) {
+        (self.and_cache.clone(), self.xor_cache.clone())
     }
 
     /// Access to the underlying solver (for solving and model extraction).
@@ -108,9 +169,9 @@ impl Cnf {
             return o;
         }
         let o = self.fresh();
-        self.solver.add_clause(&[!o, a]);
-        self.solver.add_clause(&[!o, b]);
-        self.solver.add_clause(&[o, !a, !b]);
+        self.add(&[!o, a]);
+        self.add(&[!o, b]);
+        self.add(&[o, !a, !b]);
         self.and_cache.insert(key, o);
         o
     }
@@ -164,10 +225,10 @@ impl Cnf {
             o
         } else {
             let o = self.fresh();
-            self.solver.add_clause(&[!o, pa, pb]);
-            self.solver.add_clause(&[!o, !pa, !pb]);
-            self.solver.add_clause(&[o, !pa, pb]);
-            self.solver.add_clause(&[o, pa, !pb]);
+            self.add(&[!o, pa, pb]);
+            self.add(&[!o, !pa, !pb]);
+            self.add(&[o, !pa, pb]);
+            self.add(&[o, pa, !pb]);
             self.xor_cache.insert(key, o);
             o
         };
@@ -192,13 +253,13 @@ impl Cnf {
         // mux(c, t, e) = (c AND t) OR (!c AND e); build directly for a
         // tighter encoding.
         let o = self.fresh();
-        self.solver.add_clause(&[!c, !t, o]);
-        self.solver.add_clause(&[!c, t, !o]);
-        self.solver.add_clause(&[c, !e, o]);
-        self.solver.add_clause(&[c, e, !o]);
+        self.add(&[!c, !t, o]);
+        self.add(&[!c, t, !o]);
+        self.add(&[c, !e, o]);
+        self.add(&[c, e, !o]);
         // Redundant but propagation-helping: t == e -> o == t.
-        self.solver.add_clause(&[!t, !e, o]);
-        self.solver.add_clause(&[t, e, !o]);
+        self.add(&[!t, !e, o]);
+        self.add(&[t, e, !o]);
         o
     }
 

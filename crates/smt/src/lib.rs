@@ -45,12 +45,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod blast;
+pub mod cache;
 pub mod cnf;
 pub mod pred;
 pub mod query;
 pub mod session;
 
 pub use blast::TransitionEncoding;
+pub use cache::{CacheStats, EncodeCache};
 pub use pred::{Pattern, Predicate, SetLabel};
 pub use query::{
     abduct, check_relative_inductive, monolithic_induction_check,

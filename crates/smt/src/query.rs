@@ -28,7 +28,7 @@ pub enum EncodeScope {
 }
 
 /// Configuration for [`abduct`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AbductionConfig {
     /// Shrink UNSAT cores to local minimality (biasing toward the weakest
     /// abduct, §3.2.3).
@@ -98,6 +98,15 @@ pub struct QueryTelemetry {
     pub rewrites: u64,
     /// Structural-hashing merges in the encoding (fresh queries only).
     pub strash_hits: u64,
+    /// Whether this query's base encoding was replayed from the shared
+    /// cross-target `EncodeCache` instead of bit-blasted.
+    pub cone_cache_hit: bool,
+    /// Variables the encode-cache replay spared re-deriving (hit queries).
+    pub cone_vars_saved: usize,
+    /// Clauses the encode-cache replay spared the Tseitin encoder.
+    pub cone_clauses_saved: usize,
+    /// Learnt clauses imported from a signature-equal session's pool.
+    pub imported_clauses: usize,
 }
 
 /// Result of an abduction query.
@@ -123,17 +132,17 @@ pub struct AbductionResult {
 /// Soundness of core extraction relies on the candidates plus `target` being
 /// non-contradictory, which the caller guarantees by only mining predicates
 /// consistent with positive examples (premise P-S, §3.1).
-pub fn abduct(
+pub fn abduct<P: std::borrow::Borrow<Predicate>>(
     netlist: &Netlist,
     target: &Predicate,
-    candidates: &[Predicate],
+    candidates: &[P],
     config: &AbductionConfig,
 ) -> AbductionResult {
     // An ephemeral single-query session: the fresh path and a session's
     // first query are literally the same code, and retries share the same
     // deletion minimisation (strongest predicates offered for deletion
     // first, biasing toward the weakest abduct, §3.2.3).
-    AbductionSession::new(netlist, target.clone(), config.clone()).solve(candidates)
+    AbductionSession::new(netlist, target.clone(), *config).solve(candidates)
 }
 
 /// Checks `(⋀ premise) ∧ target ⟹ target'` (relative induction, Def. 2.4).
@@ -357,7 +366,7 @@ mod tests {
         let m = Miter::build(&n);
         let target = Predicate::eq(m.left(r), m.right(r));
         // Candidate list *without* Eq(r)-implying predicates: empty.
-        let res = abduct(m.netlist(), &target, &[], &AbductionConfig::paper_default());
+        let res = abduct::<Predicate>(m.netlist(), &target, &[], &AbductionConfig::paper_default());
         // Eq(r) ∧ shared input ⟹ Eq(r') actually holds here (same square,
         // same input). So this IS inductive with the empty abduct.
         assert_eq!(res.abduct, Some(vec![]));
@@ -365,7 +374,7 @@ mod tests {
         // Now a genuinely non-inductive target: EqConst(r, 0) is destroyed
         // whenever i != 0, and no candidate can constrain the input.
         let target = Predicate::eq_const(m.left(r), m.right(r), Bv::zero(4));
-        let res = abduct(m.netlist(), &target, &[], &AbductionConfig::paper_default());
+        let res = abduct::<Predicate>(m.netlist(), &target, &[], &AbductionConfig::paper_default());
         assert_eq!(res.abduct, None);
     }
 
@@ -437,7 +446,7 @@ mod tests {
             vec![Pattern::exact(4, 1), Pattern::exact(4, 2)],
             SetLabel::EqConstSet,
         );
-        let res = abduct(m.netlist(), &pred, &[], &AbductionConfig::paper_default());
+        let res = abduct::<Predicate>(m.netlist(), &pred, &[], &AbductionConfig::paper_default());
         assert_eq!(res.abduct, Some(vec![]));
     }
 }

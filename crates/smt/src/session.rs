@@ -33,11 +33,15 @@
 //! which is why it is opt-in.
 
 use crate::blast::TransitionEncoding;
+use crate::cache::EncodeCache;
 use crate::pred::Predicate;
 use crate::query::{AbductionConfig, AbductionResult, EncodeScope, QueryTelemetry};
+use hh_netlist::signature::ConeSignature;
 use hh_netlist::Netlist;
 use hh_sat::{Lit, SolveResult, Solver};
+use std::borrow::Borrow;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Deletion-minimisation bias (§3.2.3): strong predicates are easy to prove
@@ -61,11 +65,27 @@ fn strength_key(p: &Predicate) -> u8 {
 #[derive(Debug)]
 pub struct AbductionSession<'a> {
     netlist: &'a Netlist,
-    target: Predicate,
+    target: Arc<Predicate>,
     config: AbductionConfig,
     /// Lazily built on first solve so telemetry attributes the base
     /// encoding to the first query, exactly like the fresh path.
     enc: Option<TransitionEncoding<'a>>,
+    /// Shared cross-target encoding cache + learnt-clause pools.
+    cache: Option<Arc<EncodeCache>>,
+    /// This target's base-encoding signature (computed once at creation
+    /// when a cache is attached).
+    sig: Option<ConeSignature>,
+    /// Whether to look up / record base-encoding entries. Off in the
+    /// clause-transfer-only ablation quadrant: signatures still key the
+    /// clause pools, but the cone is blasted fresh.
+    use_entries: bool,
+    /// Clauses staged by [`AbductionSession::stage_imports`], applied to the
+    /// solver at the start of the next solve (after the base build).
+    pending_imports: Vec<Vec<Lit>>,
+    /// Solver variable count right after the base build — the shared,
+    /// signature-determined variable prefix that learnt clauses may be
+    /// exported over.
+    n_base_vars: usize,
     /// Registered candidate -> slot index.
     slots: HashMap<Predicate, usize>,
     /// Slot -> indicator literal (`indicator -> candidate holds now`).
@@ -86,14 +106,19 @@ impl<'a> AbductionSession<'a> {
     /// first [`AbductionSession::solve`].
     pub fn new(
         netlist: &'a Netlist,
-        target: Predicate,
+        target: impl Into<Arc<Predicate>>,
         config: AbductionConfig,
     ) -> AbductionSession<'a> {
         AbductionSession {
             netlist,
-            target,
+            target: target.into(),
             config,
             enc: None,
+            cache: None,
+            sig: None,
+            use_entries: false,
+            pending_imports: Vec::new(),
+            n_base_vars: 0,
             slots: HashMap::new(),
             indicators: Vec::new(),
             strength: Vec::new(),
@@ -101,6 +126,31 @@ impl<'a> AbductionSession<'a> {
             last_size: (0, 0),
             queries: 0,
         }
+    }
+
+    /// Like [`AbductionSession::new`], attached to a shared [`EncodeCache`].
+    ///
+    /// The target's cone signature is computed up front. With `use_entries`
+    /// the base encoding is replayed from (or recorded into) the cache;
+    /// without it only the learnt-clause pools are keyed by the signature
+    /// (the clause-transfer-only ablation quadrant — the identity variable
+    /// correspondence between signature-equal cones holds either way,
+    /// because the blaster and [`hh_netlist::simp::SimpMap::build`] are
+    /// deterministic).
+    pub fn with_cache(
+        netlist: &'a Netlist,
+        target: impl Into<Arc<Predicate>>,
+        config: AbductionConfig,
+        cache: Arc<EncodeCache>,
+        use_entries: bool,
+    ) -> AbductionSession<'a> {
+        let target = target.into();
+        let sig = cache.signature(netlist, &target, config.scope);
+        let mut s = AbductionSession::new(netlist, target, config);
+        s.sig = Some(sig);
+        s.cache = Some(cache);
+        s.use_entries = use_entries;
+        s
     }
 
     /// The session's target predicate.
@@ -118,6 +168,52 @@ impl<'a> AbductionSession<'a> {
         self.indicators.len()
     }
 
+    /// Stages a snapshot of the cache's learnt-clause pool for this
+    /// session's signature, to be imported at the start of the next solve.
+    /// Only fresh sessions import (a session that has already solved holds
+    /// its own learnt clauses — some of which it exported itself). Returns
+    /// the number of staged clauses.
+    ///
+    /// Engines call this at deterministic points (job issue on the
+    /// scheduler thread), so the imported set is a pure function of commit
+    /// history — see the determinism notes in `hhoudini::parallel`.
+    pub fn stage_imports(&mut self) -> usize {
+        if self.queries > 0 || !self.pending_imports.is_empty() {
+            return 0;
+        }
+        let (Some(cache), Some(sig)) = (&self.cache, &self.sig) else {
+            return 0;
+        };
+        self.pending_imports = cache.pool_snapshot(&sig.key);
+        self.pending_imports.len()
+    }
+
+    /// Exports this session's learnt clauses over the shared base-variable
+    /// prefix into the cache's pool for its signature, making them available
+    /// to later signature-equal sessions. Returns how many the pool
+    /// absorbed. No-op before the first solve or without a cache.
+    ///
+    /// Soundness: see [`hh_sat::Solver::export_learnt`] — every exported
+    /// clause is implied by the base formula alone (indicator and candidate
+    /// encodings added after the base are definitional extensions over
+    /// fresh variables), so importing it into a signature-equal solver
+    /// (identical base formula under identity renaming) changes no solve
+    /// outcome.
+    pub fn export_learnt_to_pool(&self) -> usize {
+        let (Some(cache), Some(sig)) = (&self.cache, &self.sig) else {
+            return 0;
+        };
+        let Some(enc) = &self.enc else {
+            return 0;
+        };
+        let n_base = self.n_base_vars;
+        let clauses = enc.cnf().solver().export_learnt(|v| v.index() < n_base);
+        if clauses.is_empty() {
+            return 0;
+        }
+        cache.export_to_pool(&sig.key, &clauses)
+    }
+
     /// Runs the abduction query for this session's target over
     /// `candidates`, reusing all encoding from earlier calls.
     ///
@@ -126,18 +222,57 @@ impl<'a> AbductionSession<'a> {
     /// freshly failed predicates) are simply not assumed, so they impose no
     /// constraint. Returned indices point into **this call's** `candidates`
     /// slice.
-    pub fn solve(&mut self, candidates: &[Predicate]) -> AbductionResult {
+    pub fn solve<P: Borrow<Predicate>>(&mut self, candidates: &[P]) -> AbductionResult {
         let t_encode = Instant::now();
         let reused = self.enc.is_some();
+        let mut cone_cache_hit = false;
+        let mut cone_vars_saved = 0;
+        let mut cone_clauses_saved = 0;
+        let mut imported_clauses = 0;
         if !reused {
-            let mut enc = TransitionEncoding::new(self.netlist);
-            if self.config.scope == EncodeScope::Monolithic {
-                enc.encode_everything();
+            let mut enc = match (&self.cache, &self.sig) {
+                (Some(cache), Some(sig)) if self.use_entries => match cache.lookup(&sig.key) {
+                    Some(entry) => {
+                        // Replay: byte-identical solver state to a fresh
+                        // build (identity variable numbering), minus the
+                        // Tseitin work.
+                        cone_cache_hit = true;
+                        cone_vars_saved = entry.n_vars;
+                        cone_clauses_saved = entry.clauses.len();
+                        TransitionEncoding::from_cache(
+                            self.netlist,
+                            cache.simp(),
+                            &entry,
+                            &sig.witness,
+                        )
+                    }
+                    None => {
+                        let mut enc =
+                            TransitionEncoding::with_simp(self.netlist, cache.simp(), true);
+                        Self::build_base(&mut enc, &self.target, self.config.scope);
+                        let entry = enc.harvest(&sig.witness);
+                        cache.insert(sig.key.clone(), entry);
+                        enc
+                    }
+                },
+                // Clause-transfer-only quadrant: blast fresh (over the
+                // shared SimpMap), no entry recording.
+                (Some(cache), Some(_)) => {
+                    let mut enc = TransitionEncoding::with_simp(self.netlist, cache.simp(), false);
+                    Self::build_base(&mut enc, &self.target, self.config.scope);
+                    enc
+                }
+                _ => {
+                    let mut enc = TransitionEncoding::new(self.netlist);
+                    Self::build_base(&mut enc, &self.target, self.config.scope);
+                    enc
+                }
+            };
+            self.n_base_vars = enc.size().0;
+            if !self.pending_imports.is_empty() {
+                let imports = std::mem::take(&mut self.pending_imports);
+                imported_clauses = enc.cnf_mut().solver_mut().import_clauses(&imports);
             }
-            let p_now = self.target.encode_current(&mut enc);
-            enc.assert_lit(p_now);
-            let p_next = self.target.encode_next(&mut enc);
-            enc.assert_lit(!p_next);
             self.enc = Some(enc);
         }
         let enc = self.enc.as_mut().expect("encoding just ensured");
@@ -146,6 +281,7 @@ impl<'a> AbductionSession<'a> {
         let mut assumed: Vec<(Lit, u8, usize)> = Vec::with_capacity(candidates.len());
         let mut call_idx_of_slot: HashMap<usize, usize> = HashMap::with_capacity(candidates.len());
         for (call_idx, cand) in candidates.iter().enumerate() {
+            let cand = cand.borrow();
             let slot = match self.slots.get(cand) {
                 Some(&s) => s,
                 None => {
@@ -248,8 +384,25 @@ impl<'a> AbductionSession<'a> {
                 const_folds: if reused { 0 } else { simp.const_folds },
                 rewrites: if reused { 0 } else { simp.rewrites },
                 strash_hits: if reused { 0 } else { simp.strash_hits },
+                cone_cache_hit,
+                cone_vars_saved,
+                cone_clauses_saved,
+                imported_clauses,
             },
         }
+    }
+
+    /// Asserts the base formula: optional monolithic transition sweep, then
+    /// `target ∧ ¬target'`. Shared by the fresh and cache-miss build paths
+    /// (the cache-hit path replays a recording of exactly this sequence).
+    fn build_base(enc: &mut TransitionEncoding<'a>, target: &Predicate, scope: EncodeScope) {
+        if scope == EncodeScope::Monolithic {
+            enc.encode_everything();
+        }
+        let p_now = target.encode_current(enc);
+        enc.assert_lit(p_now);
+        let p_next = target.encode_next(enc);
+        enc.assert_lit(!p_next);
     }
 }
 
@@ -339,7 +492,7 @@ mod tests {
         let eq_b = Predicate::eq(m.left(b), m.right(b));
         let eq_c = Predicate::eq(m.left(c), m.right(c));
         let cfg = AbductionConfig::paper_default();
-        let mut sess = AbductionSession::new(m.netlist(), target.clone(), cfg.clone());
+        let mut sess = AbductionSession::new(m.netlist(), target.clone(), cfg);
 
         let all = vec![eq_b.clone(), eq_c.clone()];
         let first = sess.solve(&all);
@@ -390,7 +543,7 @@ mod tests {
         let mut sess = AbductionSession::new(m.netlist(), target, AbductionConfig::paper_default());
         let res = sess.solve(&[Predicate::eq(m.left(c), m.right(c))]);
         assert_eq!(res.abduct, Some(vec![]));
-        let retry = sess.solve(&[]);
+        let retry = sess.solve::<Predicate>(&[]);
         assert_eq!(retry.abduct, Some(vec![]));
     }
 
@@ -409,7 +562,7 @@ mod tests {
             canonical_cores: true,
             ..AbductionConfig::paper_default()
         };
-        let mut sess = AbductionSession::new(m.netlist(), target.clone(), cfg.clone());
+        let mut sess = AbductionSession::new(m.netlist(), target.clone(), cfg);
         let all = vec![eq_b.clone(), eq_c.clone()];
         assert_eq!(sess.solve(&all).abduct, Some(vec![0, 1]));
         assert_eq!(sess.solve(std::slice::from_ref(&eq_b)).abduct, None); // churn
@@ -417,6 +570,97 @@ mod tests {
         let fresh = crate::query::abduct(m.netlist(), &target, &all, &cfg);
         assert_eq!(retry.abduct, fresh.abduct);
         assert_eq!(retry.abduct, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn cache_replays_isomorphic_cone_with_identical_answer() {
+        // B and C are structurally identical held states, so their miter
+        // targets Eq(B) / Eq(C) share a cone signature: the second session
+        // must hit the cache and still answer exactly like a fresh solver.
+        let (base, m) = and_gate();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let eq_b = Predicate::eq(m.left(b), m.right(b));
+        let eq_c = Predicate::eq(m.left(c), m.right(c));
+        let cfg = AbductionConfig::paper_default();
+        let cache = Arc::new(EncodeCache::new(m.netlist()));
+
+        let mut s1 =
+            AbductionSession::with_cache(m.netlist(), eq_b.clone(), cfg, Arc::clone(&cache), true);
+        let r1 = s1.solve(std::slice::from_ref(&eq_c));
+        assert_eq!(r1.abduct, Some(vec![])); // B is self-inductive
+        assert!(!r1.telemetry.cone_cache_hit);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+
+        let mut s2 =
+            AbductionSession::with_cache(m.netlist(), eq_c.clone(), cfg, Arc::clone(&cache), true);
+        let r2 = s2.solve(std::slice::from_ref(&eq_b));
+        let fresh = crate::query::abduct(m.netlist(), &eq_c, std::slice::from_ref(&eq_b), &cfg);
+        assert_eq!(r2.abduct, fresh.abduct);
+        assert_eq!(r2.abduct, Some(vec![]));
+        assert!(r2.telemetry.cone_cache_hit);
+        assert!(r2.telemetry.cone_vars_saved > 0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_structurally_different_cones() {
+        // Eq(A) (cone: A' = B & C) must not collide with Eq(B) (cone:
+        // B' = B).
+        let (base, m) = and_gate();
+        let a = base.find_state("A").unwrap();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let eq_a = Predicate::eq(m.left(a), m.right(a));
+        let eq_b = Predicate::eq(m.left(b), m.right(b));
+        let eq_c = Predicate::eq(m.left(c), m.right(c));
+        let cfg = AbductionConfig::paper_default();
+        let cache = Arc::new(EncodeCache::new(m.netlist()));
+        let sig_a = cache.signature(m.netlist(), &eq_a, cfg.scope);
+        let sig_b = cache.signature(m.netlist(), &eq_b, cfg.scope);
+        let sig_c = cache.signature(m.netlist(), &eq_c, cfg.scope);
+        assert_ne!(sig_a.key, sig_b.key);
+        assert_eq!(sig_b.key, sig_c.key);
+
+        let mut s1 =
+            AbductionSession::with_cache(m.netlist(), eq_a.clone(), cfg, Arc::clone(&cache), true);
+        let r1 = s1.solve(&[eq_b.clone(), eq_c.clone()]);
+        assert_eq!(r1.abduct, Some(vec![0, 1]));
+        let mut s2 = AbductionSession::with_cache(m.netlist(), eq_b, cfg, Arc::clone(&cache), true);
+        let r2 = s2.solve(std::slice::from_ref(&eq_c));
+        assert_eq!(r2.abduct, Some(vec![]));
+        assert!(!r2.telemetry.cone_cache_hit, "different cones must miss");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clause_transfer_preserves_answers() {
+        // Export session 1's learnt clauses into the pool, import them into
+        // a signature-equal session 2: the abduct must be unchanged vs a
+        // fresh solver.
+        let (base, m) = and_gate();
+        let b = base.find_state("B").unwrap();
+        let c = base.find_state("C").unwrap();
+        let eq_b = Predicate::eq(m.left(b), m.right(b));
+        let eq_c = Predicate::eq(m.left(c), m.right(c));
+        let cfg = AbductionConfig::paper_default();
+        let cache = Arc::new(EncodeCache::new(m.netlist()));
+
+        let mut s1 =
+            AbductionSession::with_cache(m.netlist(), eq_b.clone(), cfg, Arc::clone(&cache), true);
+        s1.solve(std::slice::from_ref(&eq_c));
+        s1.export_learnt_to_pool();
+
+        let mut s2 =
+            AbductionSession::with_cache(m.netlist(), eq_c.clone(), cfg, Arc::clone(&cache), true);
+        let staged = s2.stage_imports();
+        let r2 = s2.solve(std::slice::from_ref(&eq_b));
+        assert!(r2.telemetry.imported_clauses <= staged);
+        let fresh = crate::query::abduct(m.netlist(), &eq_c, std::slice::from_ref(&eq_b), &cfg);
+        assert_eq!(r2.abduct, fresh.abduct);
+        // Staging again after a solve is a no-op.
+        assert_eq!(s2.stage_imports(), 0);
     }
 
     #[test]
