@@ -6,20 +6,27 @@
 //! cargo run -p hh-bench --release --bin perf_smoke
 //! ```
 //!
-//! Three gates:
+//! Five gates:
 //!
 //! * session reuse must answer the retry stream at least 1.5x faster than
 //!   rebuilding the cone encoding per query,
 //! * `Solver::simplify()` must produce a measurable CNF reduction on the
-//!   query cone (fewer free variables or fewer live clauses), and
+//!   query cone (fewer free variables or fewer live clauses),
 //! * cross-target cone sharing (DESIGN.md ablation 9) must show encode-cache
 //!   hits and an encode-time reduction on an OoO core while leaving the
 //!   learned invariant bit-identical in all four sharing quadrants and
-//!   across worker-thread counts.
+//!   across worker-thread counts,
+//! * disabled tracing (`TraceConfig::Off`, the default) must cost less than
+//!   2% of the traced workload's wall-clock — measured as the per-call-site
+//!   cost of a disabled probe times the number of events a traced run
+//!   actually records, and
+//! * a traced full-sharing run must produce a parseable Chrome trace with
+//!   nonzero `smt.cache.hit` counter events and the same invariant as the
+//!   untraced quadrants.
 //!
 //! Results (including the before/after CNF sizes, the simplification
-//! counters and the sharing quadrant matrix) are written to
-//! `bench_results/perf_smoke.json`.
+//! counters, the sharing quadrant matrix and the tracing overhead numbers)
+//! are written to `bench_results/perf_smoke.json`.
 
 use hh_bench::{all_targets, known_safe_set, learn_run_config, prepare, secs, Report};
 use hh_smt::{abduct, AbductionConfig, AbductionSession, Predicate, TransitionEncoding};
@@ -191,6 +198,57 @@ fn main() {
     let encode_on = secs(quadrants[3].3.encode_time);
     println!("  encode time {encode_off:.3}s (no sharing) -> {encode_on:.3}s (full sharing)");
 
+    // ------------------------------------------------------------------
+    // Tracing gates. (a) A traced full-sharing run must yield a parseable
+    // Chrome trace carrying nonzero cache-hit counters and the reference
+    // invariant. (b) The disabled-tracing cost — one relaxed atomic load
+    // per call site — times the number of events the traced run recorded
+    // must stay under 2% of that run's wall-clock.
+    // ------------------------------------------------------------------
+    hh_trace::init(hh_trace::TraceConfig::on());
+    let traced = run_sharing(true, true, 2);
+    let trace = hh_trace::drain();
+    hh_trace::init(hh_trace::TraceConfig::Off);
+    let traced_inv = traced.invariant.as_ref().expect("traced run must learn");
+    assert_eq!(
+        fingerprint(traced_inv),
+        reference,
+        "tracing changed the learned invariant"
+    );
+    let json = trace.chrome_json();
+    hh_trace::validate_json(&json).expect("traced run must emit valid Chrome JSON");
+    let counters = trace.counter_totals();
+    let cache_hits = counters.get("smt.cache.hit").copied().unwrap_or(0);
+    assert!(
+        cache_hits > 0,
+        "traced sharing run recorded no smt.cache.hit events"
+    );
+    let trace_events = trace.events.len() as u64 + trace.dropped;
+
+    const PROBES: u64 = 5_000_000;
+    let t = Instant::now();
+    for i in 0..PROBES {
+        // Same shape as a real disabled call site: the value is computed,
+        // the enabled() check rejects it.
+        hh_trace::counter("bench", "bench.probe", std::hint::black_box(i as i64));
+    }
+    let off_probe_s = secs(t.elapsed());
+    let off_ns_per_call = off_probe_s / PROBES as f64 * 1e9;
+    let traced_wall = secs(traced.stats.wall_time);
+    let overhead_frac = (off_ns_per_call * 1e-9 * trace_events as f64) / traced_wall;
+
+    println!("\nTracing — overhead and capture");
+    println!(
+        "  traced run: {trace_events} events, {} bytes JSON",
+        json.len()
+    );
+    println!("  smt.cache.hit counter total: {cache_hits}");
+    println!("  disabled call site: {off_ns_per_call:.2} ns");
+    println!(
+        "  off-mode overhead: {:.4}% of traced wall ({traced_wall:.3}s) (gate: < 2%)",
+        overhead_frac * 100.0
+    );
+
     let mut report = Report::new();
     let name = "RocketLite";
     report.push("perf_smoke", name, "fresh_s", fresh_s, "s");
@@ -266,6 +324,41 @@ fn main() {
         1.0,
         "bool",
     );
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "trace_events",
+        trace_events as f64,
+        "events",
+    );
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "trace_json_bytes",
+        json.len() as f64,
+        "bytes",
+    );
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "trace_cache_hit_events",
+        cache_hits as f64,
+        "hits",
+    );
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "trace_off_ns_per_call",
+        off_ns_per_call,
+        "ns",
+    );
+    report.push(
+        "perf_smoke",
+        boom.name,
+        "trace_off_overhead_frac",
+        overhead_frac,
+        "frac",
+    );
     report.finish("perf_smoke");
 
     assert!(
@@ -280,6 +373,11 @@ fn main() {
         encode_on < encode_off,
         "cross-target sharing produced no encode-time reduction: \
          {encode_off:.3}s -> {encode_on:.3}s"
+    );
+    assert!(
+        overhead_frac < 0.02,
+        "disabled tracing overhead too high: {:.4}% >= 2%",
+        overhead_frac * 100.0
     );
     println!("\nPerf smoke passed.");
 }

@@ -79,23 +79,14 @@ fn main() {
         report.push("speedup", t.name, "hhoudini_s", hh, "s");
         report.push("speedup", t.name, "factor_vs_houdini", f_h, "x");
         report.push("speedup", t.name, "factor_vs_sorcar", f_s, "x");
-        // Incremental-session telemetry (DESIGN.md §4.7): how much of the
-        // hierarchical learner's query stream the live sessions absorbed.
+        // Run telemetry under the trace-schema counter names
+        // (docs/TRACE_SCHEMA.md): `Stats::counters()` projects the same
+        // namespace the `hh-trace` counters are recorded under, so this
+        // JSON is a pure projection of a traced run.
         let s = &run.stats;
-        report.push(
-            "speedup",
-            t.name,
-            "session_hits",
-            s.session_hits as f64,
-            "queries",
-        );
-        report.push(
-            "speedup",
-            t.name,
-            "session_misses",
-            s.session_misses as f64,
-            "queries",
-        );
+        for (key, value) in s.counters() {
+            report.push("speedup", t.name, key, value as f64, "count");
+        }
         report.push(
             "speedup",
             t.name,
@@ -103,39 +94,6 @@ fn main() {
             s.session_hit_rate(),
             "frac",
         );
-        report.push("speedup", t.name, "vars_saved", s.vars_saved as f64, "vars");
-        report.push(
-            "speedup",
-            t.name,
-            "clauses_saved",
-            s.clauses_saved as f64,
-            "clauses",
-        );
-        report.push("speedup", t.name, "encode_s", secs(s.encode_time), "s");
-        report.push("speedup", t.name, "solve_s", secs(s.solve_time), "s");
-        // Simplification telemetry: SAT inprocessing (BVE / subsumption /
-        // probing) and word-level pre-blast simplification work.
-        for (key, value, unit) in [
-            ("sat_simplifies", s.sat_simplifies, "passes"),
-            ("sat_eliminated_vars", s.sat_eliminated_vars, "vars"),
-            ("sat_subsumed_clauses", s.sat_subsumed_clauses, "clauses"),
-            ("sat_strengthened_lits", s.sat_strengthened_lits, "lits"),
-            ("sat_probed_units", s.sat_probed_units, "units"),
-            ("word_const_folds", s.word_const_folds, "nodes"),
-            ("word_rewrites", s.word_rewrites, "nodes"),
-            ("word_strash_hits", s.word_strash_hits, "nodes"),
-            // Cross-target sharing telemetry (DESIGN.md ablation 9): cone
-            // encodings replayed across signature-equal targets and learnt
-            // clauses migrated between their sessions.
-            ("encode_cache_hits", s.encode_cache_hits, "cones"),
-            ("encode_cache_misses", s.encode_cache_misses, "cones"),
-            ("encode_vars_saved", s.encode_vars_saved, "vars"),
-            ("encode_clauses_saved", s.encode_clauses_saved, "clauses"),
-            ("exported_clauses", s.exported_clauses, "clauses"),
-            ("imported_clauses", s.imported_clauses, "clauses"),
-        ] {
-            report.push("speedup", t.name, key, value as f64, unit);
-        }
         report.push(
             "speedup",
             t.name,
@@ -143,6 +101,9 @@ fn main() {
             s.encode_cache_hit_rate(),
             "frac",
         );
+        report.push("speedup", t.name, "encode_s", secs(s.encode_time), "s");
+        report.push("speedup", t.name, "solve_s", secs(s.solve_time), "s");
+        report.push("speedup", t.name, "occupancy", s.occupancy(), "frac");
         factors.push(f_h.min(f_s));
     }
     // Shape: the advantage grows with design size.

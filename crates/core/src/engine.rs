@@ -197,6 +197,8 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
     /// within the predicate language.
     pub fn learn(&mut self, properties: &[Predicate]) -> Option<Invariant> {
         let t0 = Instant::now();
+        let _learn_span = hh_trace::span!("engine", "engine.learn");
+        self.stats.workers = 1;
         self.encode_cache = self.config.make_encode_cache(self.netlist);
         let prop_ids: Vec<PredId> = properties
             .iter()
@@ -268,6 +270,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             if let Some(ab) = self.memo.get(&p) {
                 if ab.iter().all(|q| !self.failed.contains(q)) {
                     self.stats.memo_hits += 1;
+                    hh_trace::counter!("engine", "engine.memo.hit", 1);
                     return true; // line 3–4
                 }
                 self.memo.remove(&p);
@@ -276,6 +279,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             self.memo.remove(&p);
         }
         self.in_progress.push(p);
+        let _task_span = hh_trace::span!("engine", "engine.task");
         let task_idx = self.stats.tasks.len();
         self.stats.tasks.push(TaskRecord {
             pred: p,
@@ -317,6 +321,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
             self.stats.tasks[task_idx].queries += 1;
             if !first_attempt {
                 self.stats.backtracks += 1;
+                hh_trace::counter!("engine", "engine.backtrack", 1);
             }
             first_attempt = false;
 
@@ -355,6 +360,7 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
         };
         self.stats.tasks[task_idx].duration += own_mark.elapsed();
         self.stats.task_time += self.stats.tasks[task_idx].duration;
+        self.stats.worker_busy_time += self.stats.tasks[task_idx].duration;
         debug_assert_eq!(self.in_progress.last(), Some(&p));
         self.in_progress.pop();
         outcome

@@ -140,6 +140,8 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
     /// finish. See the module docs for the determinism argument.
     pub fn learn(&mut self, properties: &[Predicate]) -> Option<Invariant> {
         let t0 = Instant::now();
+        let _learn_span = hh_trace::span!("engine", "engine.learn");
+        self.stats.workers = self.threads.max(1);
         let prop_ids: Vec<PredId> = properties
             .iter()
             .map(|p| self.store.intern(p.clone()))
@@ -171,6 +173,7 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                         // Hold the lock only for the dequeue, not the solve.
                         let job = job_rx.lock().unwrap().recv();
                         let Ok(mut job) = job else { break };
+                        let _job_span = hh_trace::span!("sched", "sched.job");
                         let q0 = Instant::now();
                         let (result, session) = match job.session.take() {
                             Some(mut s) => {
@@ -192,6 +195,11 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                             break; // scheduler gone
                         }
                     }
+                    // Hand this worker's trace ring over before the closure
+                    // returns: the scope join does not wait for TLS
+                    // destructors, so a drain right after learn() could
+                    // otherwise race with thread teardown.
+                    hh_trace::flush();
                 });
             }
             drop(done_tx); // scheduler keeps only done_rx
@@ -255,6 +263,8 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                         None
                     };
                     inflight.insert(p);
+                    hh_trace::event!("sched", "sched.issue");
+                    hh_trace::counter!("sched", "sched.inflight", 1);
                     job_tx
                         .send(Job {
                             job_idx,
@@ -282,6 +292,7 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                     }
                     stale.sort_unstable(); // deterministic re-issue order
                     self.stats.backtracks += stale.len();
+                    hh_trace::counter!("engine", "engine.backtrack", stale.len());
                     for s in stale {
                         self.memo.remove(&s);
                         let w = *weights
@@ -302,10 +313,22 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                 // solving.
                 while !reorder.contains_key(&next_commit) {
                     let done = done_rx.recv().expect("worker result");
+                    // NOTE: do NOT fold `done.duration` into the occupancy
+                    // accounting here. Several completions can be buffered
+                    // while waiting for the in-order commit, and each of
+                    // them passes through the single-commit step below —
+                    // accounting at both points would double-count every
+                    // buffered job (`worker_busy_time` would exceed the sum
+                    // of task durations).
                     reorder.insert(done.job_idx, done);
                 }
                 let done = reorder.remove(&next_commit).expect("checked above");
                 let meta = &metas[next_commit];
+                hh_trace::event!("sched", "sched.commit");
+                hh_trace::counter!("sched", "sched.inflight", -1);
+                // Occupancy: every job is committed exactly once, so this is
+                // the one place worker busy time may be accumulated.
+                self.stats.worker_busy_time += done.duration;
                 self.stats.record_query(done.duration);
                 self.stats.record_abduction(&done.result.telemetry);
                 let task_idx = self.stats.tasks.len();

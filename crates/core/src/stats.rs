@@ -93,6 +93,20 @@ pub struct Stats {
     pub exported_clauses: u64,
     /// Learnt clauses imported from clause pools into fresh sessions.
     pub imported_clauses: u64,
+    /// Worker threads the run was configured with (1 for the serial
+    /// engine; merging keeps the maximum).
+    pub workers: usize,
+    /// Total worker solve time: the sum of committed job durations in the
+    /// parallel engine (equal to the sum of task durations there), or the
+    /// sum of task durations in the serial engine. Divided by
+    /// `workers × wall_time` this is the scheduler occupancy.
+    ///
+    /// Accounting invariant: each completed job is folded in **exactly
+    /// once, at its commit**. The streaming scheduler's reorder buffer may
+    /// *receive* several completions while waiting for the next in-order
+    /// commit; folding at receive time as well would double-count every
+    /// buffered job (see `ParallelEngine`'s single-commit loop).
+    pub worker_busy_time: Duration,
 }
 
 impl Stats {
@@ -186,6 +200,7 @@ impl Stats {
         self.smt_queries += 1;
         self.smt_time += d;
         self.query_durations.push(d);
+        hh_trace::counter!("engine", "engine.query", 1);
     }
 
     /// Folds one abduction query's telemetry into the session counters.
@@ -194,8 +209,10 @@ impl Stats {
             self.session_hits += 1;
             self.vars_saved += t.vars_reused;
             self.clauses_saved += t.clauses_reused;
+            hh_trace::counter!("smt", "smt.session.hit", 1);
         } else {
             self.session_misses += 1;
+            hh_trace::counter!("smt", "smt.session.miss", 1);
         }
         self.encode_time += t.encode_time;
         self.solve_time += t.solve_time;
@@ -238,6 +255,94 @@ impl Stats {
             return 0.0;
         }
         self.encode_cache_hits as f64 / total as f64
+    }
+
+    /// Scheduler occupancy: the fraction of configured worker capacity
+    /// (`workers × wall_time`) spent solving. 0 when nothing was measured.
+    pub fn occupancy(&self) -> f64 {
+        let capacity = self.workers.max(1) as f64 * self.wall_time.as_secs_f64();
+        if capacity == 0.0 {
+            return 0.0;
+        }
+        (self.worker_busy_time.as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// Folds another `Stats` into this one.
+    ///
+    /// This is the per-thread counter fold: **associative** (and commutative
+    /// on everything except task/query order), so partial aggregates can be
+    /// combined in any grouping — `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` is property-
+    /// tested in this module. Scalar counters and times add; `wall_time`
+    /// and `workers` take the maximum (concurrent intervals don't add);
+    /// task lists concatenate with parent indices re-based, preserving each
+    /// input's internal DAG.
+    pub fn merge(&mut self, other: &Stats) {
+        let base = self.tasks.len();
+        self.tasks.extend(other.tasks.iter().map(|t| TaskRecord {
+            parent: t.parent.map(|p| p + base),
+            ..t.clone()
+        }));
+        self.memo_hits += other.memo_hits;
+        self.backtracks += other.backtracks;
+        self.smt_queries += other.smt_queries;
+        self.query_durations
+            .extend(other.query_durations.iter().copied());
+        self.smt_time += other.smt_time;
+        self.task_time += other.task_time;
+        self.wall_time = self.wall_time.max(other.wall_time);
+        self.session_hits += other.session_hits;
+        self.session_misses += other.session_misses;
+        self.vars_saved += other.vars_saved;
+        self.clauses_saved += other.clauses_saved;
+        self.encode_time += other.encode_time;
+        self.solve_time += other.solve_time;
+        self.sat_simplifies += other.sat_simplifies;
+        self.sat_eliminated_vars += other.sat_eliminated_vars;
+        self.sat_subsumed_clauses += other.sat_subsumed_clauses;
+        self.sat_strengthened_lits += other.sat_strengthened_lits;
+        self.sat_probed_units += other.sat_probed_units;
+        self.word_const_folds += other.word_const_folds;
+        self.word_rewrites += other.word_rewrites;
+        self.word_strash_hits += other.word_strash_hits;
+        self.encode_cache_hits += other.encode_cache_hits;
+        self.encode_cache_misses += other.encode_cache_misses;
+        self.encode_vars_saved += other.encode_vars_saved;
+        self.encode_clauses_saved += other.encode_clauses_saved;
+        self.exported_clauses += other.exported_clauses;
+        self.imported_clauses += other.imported_clauses;
+        self.workers = self.workers.max(other.workers);
+        self.worker_busy_time += other.worker_busy_time;
+    }
+
+    /// Projects the scalar counters under their trace-schema names (see
+    /// `docs/TRACE_SCHEMA.md`). The names match the `hh-trace` counters
+    /// emitted at the same recording sites, so JSON reports built from this
+    /// projection (e.g. `bench_results/speedup.json`) are a pure projection
+    /// of the trace-counter namespace.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("engine.query", self.smt_queries as u64),
+            ("engine.memo.hit", self.memo_hits as u64),
+            ("engine.backtrack", self.backtracks as u64),
+            ("smt.session.hit", self.session_hits as u64),
+            ("smt.session.miss", self.session_misses as u64),
+            ("smt.session.vars_saved", self.vars_saved as u64),
+            ("smt.session.clauses_saved", self.clauses_saved as u64),
+            ("smt.cache.hit", self.encode_cache_hits),
+            ("smt.cache.miss", self.encode_cache_misses),
+            ("smt.cache.vars_saved", self.encode_vars_saved),
+            ("smt.cache.clauses_saved", self.encode_clauses_saved),
+            ("smt.pool.exported", self.exported_clauses),
+            ("smt.pool.imported", self.imported_clauses),
+            ("smt.word.const_folds", self.word_const_folds),
+            ("smt.word.rewrites", self.word_rewrites),
+            ("smt.word.strash_hits", self.word_strash_hits),
+            ("sat.simplify.runs", self.sat_simplifies),
+            ("sat.simplify.eliminated_vars", self.sat_eliminated_vars),
+            ("sat.simplify.subsumed_clauses", self.sat_subsumed_clauses),
+            ("sat.simplify.strengthened_lits", self.sat_strengthened_lits),
+            ("sat.simplify.probed_units", self.sat_probed_units),
+        ]
     }
 }
 

@@ -19,6 +19,13 @@ impl PredId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Constructs the id with the given dense index. Ids are only meaningful
+    /// relative to one [`PredicateStore`]; this exists for telemetry
+    /// fixtures and tests.
+    pub fn from_index(i: usize) -> PredId {
+        PredId(i as u32)
+    }
 }
 
 /// Interning table for [`Predicate`]s.

@@ -35,7 +35,7 @@
 //! assert_eq!(state.get(acc), Bv::new(4, 3));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod bv;

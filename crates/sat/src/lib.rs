@@ -39,7 +39,7 @@
 //!   (deletion-based), mirroring cvc5's `minimal-unsat-cores`.
 //! * A small DIMACS reader/writer in [`dimacs`] for debugging and tests.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod clause;

@@ -329,6 +329,28 @@ impl Solver {
     /// afterwards (incremental interface): more variables, clauses and solve
     /// calls may follow.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let _span = hh_trace::span!("sat", "sat.solve");
+        let before = (
+            self.stats.propagations,
+            self.stats.conflicts,
+            self.stats.restarts,
+        );
+        let result = self.solve_with_assumptions_inner(assumptions);
+        if hh_trace::enabled() {
+            hh_trace::counter!(
+                "sat",
+                "sat.propagations",
+                self.stats.propagations - before.0
+            );
+            hh_trace::counter!("sat", "sat.conflicts", self.stats.conflicts - before.1);
+            hh_trace::counter!("sat", "sat.restarts", self.stats.restarts - before.2);
+        }
+        result
+    }
+
+    /// [`Solver::solve_with_assumptions`] minus the trace span/counters
+    /// (split out so the early returns share one recording point).
+    fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         self.model.clear();
         self.core.clear();
@@ -523,6 +545,7 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        let _span = hh_trace::span!("sat", "sat.simplify");
         self.stats.simplifies += 1;
         self.last_simplify_conflicts = self.stats.conflicts;
         if self.propagate().is_some() {

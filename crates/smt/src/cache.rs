@@ -183,9 +183,11 @@ impl EncodeCache {
                     .fetch_add(e.n_vars as u64, Ordering::Relaxed);
                 self.clauses_saved
                     .fetch_add(e.clauses.len() as u64, Ordering::Relaxed);
+                hh_trace::counter!("smt", "smt.cache.hit", 1);
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                hh_trace::counter!("smt", "smt.cache.miss", 1);
             }
         }
         entry
@@ -208,6 +210,7 @@ impl EncodeCache {
         let pool = pools.entry(key.to_vec()).or_default();
         let n = clauses.iter().filter(|c| pool.absorb(c)).count();
         self.exported.fetch_add(n as u64, Ordering::Relaxed);
+        hh_trace::counter!("smt", "smt.pool.exported", n);
         n
     }
 
@@ -219,6 +222,7 @@ impl EncodeCache {
             .map(|p| p.clauses.clone())
             .unwrap_or_default();
         self.imported.fetch_add(out.len() as u64, Ordering::Relaxed);
+        hh_trace::counter!("smt", "smt.pool.imported", out.len());
         out
     }
 

@@ -41,7 +41,7 @@
 //! assert_eq!(res.abduct, Some(vec![0, 1])); // needs Eq(B) and Eq(C)
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod blast;

@@ -109,6 +109,7 @@ impl<'a> AbductionSession<'a> {
         target: impl Into<Arc<Predicate>>,
         config: AbductionConfig,
     ) -> AbductionSession<'a> {
+        hh_trace::event!("smt", "smt.session.create");
         AbductionSession {
             netlist,
             target: target.into(),
@@ -224,6 +225,7 @@ impl<'a> AbductionSession<'a> {
     /// slice.
     pub fn solve<P: Borrow<Predicate>>(&mut self, candidates: &[P]) -> AbductionResult {
         let t_encode = Instant::now();
+        let _encode_span = hh_trace::span!("smt", "smt.session.solve");
         let reused = self.enc.is_some();
         let mut cone_cache_hit = false;
         let mut cone_vars_saved = 0;
@@ -236,6 +238,7 @@ impl<'a> AbductionSession<'a> {
                         // Replay: byte-identical solver state to a fresh
                         // build (identity variable numbering), minus the
                         // Tseitin work.
+                        let _replay = hh_trace::span!("smt", "smt.replay");
                         cone_cache_hit = true;
                         cone_vars_saved = entry.n_vars;
                         cone_clauses_saved = entry.clauses.len();
@@ -247,6 +250,7 @@ impl<'a> AbductionSession<'a> {
                         )
                     }
                     None => {
+                        let _blast = hh_trace::span!("smt", "smt.blast");
                         let mut enc =
                             TransitionEncoding::with_simp(self.netlist, cache.simp(), true);
                         Self::build_base(&mut enc, &self.target, self.config.scope);
@@ -258,11 +262,13 @@ impl<'a> AbductionSession<'a> {
                 // Clause-transfer-only quadrant: blast fresh (over the
                 // shared SimpMap), no entry recording.
                 (Some(cache), Some(_)) => {
+                    let _blast = hh_trace::span!("smt", "smt.blast");
                     let mut enc = TransitionEncoding::with_simp(self.netlist, cache.simp(), false);
                     Self::build_base(&mut enc, &self.target, self.config.scope);
                     enc
                 }
                 _ => {
+                    let _blast = hh_trace::span!("smt", "smt.blast");
                     let mut enc = TransitionEncoding::new(self.netlist);
                     Self::build_base(&mut enc, &self.target, self.config.scope);
                     enc
@@ -322,6 +328,7 @@ impl<'a> AbductionSession<'a> {
         self.queries += 1;
 
         let t_solve = Instant::now();
+        let _solve_span = hh_trace::span!("smt", "smt.solve");
         let solver = enc.cnf_mut().solver_mut();
         let before = solver.stats();
         let assumptions: Vec<Lit> = assumed.iter().map(|&(l, _, _)| l).collect();

@@ -1,0 +1,117 @@
+//! The deterministic plain-text run report.
+//!
+//! Aggregates the trace into per-name tables sorted by name, so two runs of
+//! the same workload produce reports that differ only in measured durations
+//! — diffable, greppable, and safe to snapshot in docs.
+
+use crate::{EventKind, Trace};
+use std::collections::BTreeMap;
+
+pub(crate) fn text_report(trace: &Trace) -> String {
+    let mut spans: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new(); // count, total, max
+    let mut instants: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Span { dur_us } => {
+                let s = spans.entry(e.name).or_insert((0, 0, 0));
+                s.0 += 1;
+                s.1 += dur_us;
+                s.2 = s.2.max(dur_us);
+            }
+            EventKind::Instant => *instants.entry(e.name).or_insert(0) += 1,
+            EventKind::Counter { .. } => {}
+        }
+    }
+    let counters = trace.counter_totals();
+
+    let mut out = String::new();
+    out.push_str("hh-trace run report\n");
+    out.push_str(&format!(
+        "  events {}  threads {}  dropped {}\n",
+        trace.events.len(),
+        trace.thread_ids().len(),
+        trace.dropped
+    ));
+    if !spans.is_empty() {
+        out.push_str("\nspans (name, count, total, max):\n");
+        for (name, (count, total, max)) in &spans {
+            out.push_str(&format!(
+                "  {name:<28} {count:>8}  {:>12}  {:>10}\n",
+                fmt_us(*total),
+                fmt_us(*max)
+            ));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("\ncounters (name, sum):\n");
+        for (name, total) in &counters {
+            out.push_str(&format!("  {name:<28} {total:>8}\n"));
+        }
+    }
+    if !instants.is_empty() {
+        out.push_str("\nevents (name, count):\n");
+        for (name, count) in &instants {
+            out.push_str(&format!("  {name:<28} {count:>8}\n"));
+        }
+    }
+    out
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    #[test]
+    fn report_is_sorted_and_complete() {
+        let mk = |name, kind| Event {
+            name,
+            cat: "t",
+            ts_us: 0,
+            tid: 1,
+            kind,
+        };
+        let trace = Trace {
+            events: vec![
+                mk("z.span", EventKind::Span { dur_us: 1_500 }),
+                mk("a.span", EventKind::Span { dur_us: 2_000_000 }),
+                mk("m.count", EventKind::Counter { value: 4 }),
+                mk("m.mark", EventKind::Instant),
+            ],
+            dropped: 0,
+        };
+        let r = trace.text_report();
+        let a = r.find("a.span").unwrap();
+        let z = r.find("z.span").unwrap();
+        assert!(a < z, "span table sorted by name");
+        assert!(r.contains("2.000s"));
+        assert!(r.contains("1.500ms"));
+        assert!(r.contains("m.count"));
+        assert!(r.contains("m.mark"));
+    }
+
+    #[test]
+    fn identical_traces_produce_identical_reports() {
+        let trace = Trace {
+            events: vec![Event {
+                name: "x",
+                cat: "t",
+                ts_us: 9,
+                tid: 3,
+                kind: EventKind::Counter { value: 1 },
+            }],
+            dropped: 1,
+        };
+        assert_eq!(trace.text_report(), trace.clone().text_report());
+    }
+}

@@ -155,6 +155,9 @@ fn load_design(args: &Args) -> Result<Design, String> {
 }
 
 fn main() -> ExitCode {
+    // HH_TRACE=<path.json> captures a Chrome trace of the run; see
+    // docs/TRACE_SCHEMA.md for the span/counter vocabulary.
+    let tracing = hh_trace::init_from_env();
     let args = parse_args();
     let design = match load_design(&args) {
         Ok(d) => d,
@@ -196,7 +199,7 @@ fn main() -> ExitCode {
             println!("  {:8} {:?}", m.name(), why);
         }
     }
-    match &report.invariant {
+    let code = match &report.invariant {
         Some(inv) => {
             println!(
                 "\ninvariant: {} predicates | {} tasks | {} backtracks | {} SMT queries | {elapsed:.2?}",
@@ -211,5 +214,13 @@ fn main() -> ExitCode {
             println!("\nno invariant learned for any candidate subset");
             ExitCode::FAILURE
         }
+    };
+    if tracing {
+        match hh_trace::finish_to_env() {
+            Ok(Some(path)) => println!("trace written to {path}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("failed to write trace: {e}"),
+        }
     }
+    code
 }

@@ -209,11 +209,13 @@ impl<'a> Veloct<'a> {
 
     /// Attempts to learn an invariant proving the proposed safe set.
     pub fn learn(&self, safe: &[Mnemonic]) -> LearnReport {
+        let _span = hh_trace::span!("veloct", "veloct.learn");
         let (miter, patterns) = self.build_miter(safe);
         let state_bits = self.design.state_bits();
         // With Impl predicates on, masking is unnecessary (that is the
         // point of the extension) — generate raw examples instead.
         let mask = !self.config.impl_predicates;
+        let example_span = hh_trace::span!("veloct", "veloct.examples");
         let examples = match examples::generate_examples_opts(
             self.design,
             &miter,
@@ -233,6 +235,7 @@ impl<'a> Veloct<'a> {
                 }
             }
         };
+        drop(example_span);
         let num_examples = examples.len();
         let miner = if self.config.impl_predicates {
             let guards: Vec<_> = self
@@ -272,6 +275,7 @@ impl<'a> Veloct<'a> {
         kind: BaselineKind,
         budget: &BaselineBudget,
     ) -> BaselineReport {
+        let _span = hh_trace::span!("veloct", "veloct.baseline");
         let (miter, patterns) = self.build_miter(safe);
         let examples = match generate_examples(
             self.design,
@@ -315,13 +319,17 @@ impl<'a> Veloct<'a> {
     /// prefilter, then invariant learning over the surviving set, with a
     /// bounded greedy-drop fallback if learning fails.
     pub fn classify(&self, candidates: &[Mnemonic]) -> SafeSetReport {
+        let _span = hh_trace::span!("veloct", "veloct.classify");
         let (probe_miter, _) = self.build_miter(candidates);
         let mut rejected: Vec<(Mnemonic, UnsafeReason)> = Vec::new();
         let mut survivors: Vec<Mnemonic> = Vec::new();
-        for &m in candidates {
-            match differential_test(self.design, &probe_miter, m) {
-                Some(div) => rejected.push((m, UnsafeReason::TimingDivergence(div.cycle))),
-                None => survivors.push(m),
+        {
+            let _difftest = hh_trace::span!("veloct", "veloct.difftest");
+            for &m in candidates {
+                match differential_test(self.design, &probe_miter, m) {
+                    Some(div) => rejected.push((m, UnsafeReason::TimingDivergence(div.cycle))),
+                    None => survivors.push(m),
+                }
             }
         }
 

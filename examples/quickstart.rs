@@ -15,6 +15,10 @@ use hh_suite::veloct::{default_candidates, Veloct, VeloctConfig};
 use std::time::Instant;
 
 fn main() {
+    // Set HH_TRACE=out.json to capture a Chrome trace of the whole run
+    // (plus a plain-text summary next to it); see docs/TRACE_SCHEMA.md.
+    let tracing = hh_suite::trace::init_from_env();
+
     let design = rocket_lite(16);
     println!(
         "design: {} ({} state bits, {} state elements)",
@@ -52,5 +56,13 @@ fn main() {
             );
         }
         None => println!("\nno invariant learned"),
+    }
+
+    if tracing {
+        match hh_suite::trace::finish_to_env() {
+            Ok(Some(path)) => println!("trace written to {path}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("failed to write trace: {e}"),
+        }
     }
 }

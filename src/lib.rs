@@ -16,6 +16,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`sat`] | `hh-sat` | CDCL solver, assumption cores, core minimisation |
+//! | [`trace`] | `hh-trace` | run-level span/event/counter tracing |
 //! | [`netlist`] | `hh-netlist` | circuit IR, evaluator, COI, miter, btor2 |
 //! | [`smt`] | `hh-smt` | bit-blasting, predicates, abduction queries |
 //! | [`isa`] | `hh-isa` | RV32 subset encodings + safe-set patterns |
@@ -42,6 +43,7 @@ pub use hh_netlist as netlist;
 pub use hh_sat as sat;
 pub use hh_sim as sim;
 pub use hh_smt as smt;
+pub use hh_trace as trace;
 pub use hh_uarch as uarch;
 pub use hhoudini;
 pub use veloct;

@@ -119,7 +119,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -169,7 +169,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
     #[derive(Debug)]
     pub struct Union<V> {
         options: Vec<BoxedStrategy<V>>,
@@ -302,7 +302,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
