@@ -22,7 +22,14 @@
 //!   actually records, and
 //! * a traced full-sharing run must produce a parseable Chrome trace with
 //!   nonzero `smt.cache.hit` counter events and the same invariant as the
-//!   untraced quadrants.
+//!   untraced quadrants,
+//! * a certified RocketLite run must emit a proof bundle the independent
+//!   `hh-proof` checker accepts, a corrupted proof blob must be rejected,
+//!   and
+//! * disabled proof logging (no sink attached, the default) must cost less
+//!   than 2% of a certified run's wall-clock — measured as the per-call
+//!   cost of the sink-absent branch times the number of proof events the
+//!   certified run's obligations record.
 //!
 //! Results (including the before/after CNF sizes, the simplification
 //! counters, the sharing quadrant matrix and the tracing overhead numbers)
@@ -249,6 +256,73 @@ fn main() {
         overhead_frac * 100.0
     );
 
+    // ------------------------------------------------------------------
+    // Proof logging and certification (DESIGN.md ablation 10). A certified
+    // RocketLite run must emit a bundle the independent checker validates;
+    // a corrupted blob must be rejected; and the cost of *disabled* proof
+    // logging — one branch on an absent sink per derivation event — must
+    // stay under 2% of the certified run's wall-clock.
+    // ------------------------------------------------------------------
+    let v = veloct::Veloct::with_config(
+        &rocket.design,
+        veloct::VeloctConfig {
+            threads: 2,
+            pairs_per_instr: 1,
+            certify: true,
+            ..veloct::VeloctConfig::default()
+        },
+    );
+    let t = Instant::now();
+    let certified = v.learn(&safe);
+    let certified_wall = secs(t.elapsed());
+    let certified_inv = certified.invariant.as_ref().expect("certified run learns");
+    let bundle_dir = std::path::Path::new("bench_results").join("proof_bundle");
+    let _ = std::fs::remove_dir_all(&bundle_dir);
+    let t = Instant::now();
+    let summary = v
+        .emit_certificate(&safe, certified_inv, &certified.solutions, &bundle_dir)
+        .expect("certificate emission succeeds");
+    let proof_emit_s = secs(t.elapsed());
+    let t = Instant::now();
+    let check = hh_proof::cert::check_bundle(&bundle_dir).expect("genuine bundle must check");
+    let proof_check_s = secs(t.elapsed());
+    assert_eq!(check.obligations, certified_inv.len());
+
+    // Corrupt one byte of a proof blob: the checker must reject.
+    let blob = bundle_dir.join("obligation-000.drat");
+    let mut blob_bytes = std::fs::read(&blob).expect("bundle has obligation blobs");
+    let mid = blob_bytes.len() / 2;
+    blob_bytes[mid] ^= 0x55;
+    std::fs::write(&blob, &blob_bytes).unwrap();
+    assert!(
+        hh_proof::cert::check_bundle(&bundle_dir).is_err(),
+        "corrupted proof blob must be rejected"
+    );
+    blob_bytes[mid] ^= 0x55;
+    std::fs::write(&blob, &blob_bytes).unwrap();
+
+    // The disabled-logging branch, micro-timed like the tracing probe.
+    let probe_solver = hh_sat::Solver::new();
+    let t = Instant::now();
+    for i in 0..PROBES {
+        std::hint::black_box(probe_solver.proof_active() && std::hint::black_box(i) > 0);
+    }
+    let proof_off_ns_per_call = secs(t.elapsed()) / PROBES as f64 * 1e9;
+    let proof_events = summary.proof_lines as f64;
+    let proof_overhead_frac = (proof_off_ns_per_call * 1e-9 * proof_events) / certified_wall;
+
+    println!("\nProof logging — certification and overhead");
+    println!(
+        "  certified run: {} obligations, {} proof lines, {} bytes",
+        summary.obligations, summary.proof_lines, summary.proof_bytes
+    );
+    println!("  emit {proof_emit_s:.3}s, independent check {proof_check_s:.3}s");
+    println!("  disabled call site: {proof_off_ns_per_call:.2} ns");
+    println!(
+        "  off-mode overhead: {:.4}% of certified wall ({certified_wall:.3}s) (gate: < 2%)",
+        proof_overhead_frac * 100.0
+    );
+
     let mut report = Report::new();
     let name = "RocketLite";
     report.push("perf_smoke", name, "fresh_s", fresh_s, "s");
@@ -359,6 +433,21 @@ fn main() {
         overhead_frac,
         "frac",
     );
+    for (key, value, unit) in [
+        (
+            "proof_obligations",
+            summary.obligations as f64,
+            "obligations",
+        ),
+        ("proof_lines", summary.proof_lines as f64, "lines"),
+        ("proof_bytes", summary.proof_bytes as f64, "bytes"),
+        ("proof_emit_s", proof_emit_s, "s"),
+        ("proof_check_s", proof_check_s, "s"),
+        ("proof_off_ns_per_call", proof_off_ns_per_call, "ns"),
+        ("proof_off_overhead_frac", proof_overhead_frac, "frac"),
+    ] {
+        report.push("perf_smoke", name, key, value, unit);
+    }
     report.finish("perf_smoke");
 
     assert!(
@@ -378,6 +467,11 @@ fn main() {
         overhead_frac < 0.02,
         "disabled tracing overhead too high: {:.4}% >= 2%",
         overhead_frac * 100.0
+    );
+    assert!(
+        proof_overhead_frac < 0.02,
+        "disabled proof logging overhead too high: {:.4}% >= 2%",
+        proof_overhead_frac * 100.0
     );
     println!("\nPerf smoke passed.");
 }

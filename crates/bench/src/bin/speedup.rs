@@ -115,5 +115,55 @@ fn main() {
     }
     println!("\nShape check: H-Houdini's advantage grows with design size (the paper");
     println!("reports 2880x on Rocketchip-scale designs and non-termination on BOOM).");
+
+    // Certification cost on RocketLite: emit a proof bundle from a
+    // certified run and check it independently, recording proof volume and
+    // check time alongside the speedup numbers.
+    {
+        let targets = all_targets();
+        let t = &targets[0];
+        let safe = known_safe_set(t.name);
+        let v = Veloct::with_config(
+            &t.design,
+            VeloctConfig {
+                threads: 1,
+                pairs_per_instr: 1,
+                certify: true,
+                ..VeloctConfig::default()
+            },
+        );
+        let run = v.learn(&safe);
+        let inv = run.invariant.as_ref().expect("certified run must learn");
+        let dir = std::path::Path::new("bench_results").join("speedup_proof_bundle");
+        let _ = std::fs::remove_dir_all(&dir);
+        let t0 = std::time::Instant::now();
+        let summary = v
+            .emit_certificate(&safe, inv, &run.solutions, &dir)
+            .expect("certificate emission succeeds");
+        let emit_s = secs(t0.elapsed());
+        let t0 = std::time::Instant::now();
+        hh_proof::cert::check_bundle(&dir).expect("emitted bundle must check");
+        let check_s = secs(t0.elapsed());
+        println!(
+            "\nCertification: {} obligations, {} proof bytes; emit {emit_s:.3}s, check {check_s:.3}s",
+            summary.obligations, summary.proof_bytes
+        );
+        report.push(
+            "speedup",
+            t.name,
+            "proof_obligations",
+            summary.obligations as f64,
+            "obligations",
+        );
+        report.push(
+            "speedup",
+            t.name,
+            "proof_bytes",
+            summary.proof_bytes as f64,
+            "bytes",
+        );
+        report.push("speedup", t.name, "proof_emit_s", emit_s, "s");
+        report.push("speedup", t.name, "proof_check_s", check_s, "s");
+    }
     report.finish("speedup");
 }

@@ -184,6 +184,20 @@ impl<'a, M: Miner> SerialEngine<'a, M> {
         &self.store
     }
 
+    /// The memoised solution table as `(target, premises)` pairs, sorted by
+    /// target predicate. Each entry records the abduct that made `target`
+    /// relatively inductive; `hh-proof` replays these obligations when
+    /// emitting a certificate bundle.
+    pub fn solutions(&self) -> Vec<(Predicate, Vec<Predicate>)> {
+        let mut out: Vec<(Predicate, Vec<Predicate>)> = self
+            .memo
+            .iter()
+            .map(|(&p, ab)| (self.store.get(p).clone(), self.store.resolve(ab)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// The predicates proven unsolvable (`P_fail`) — useful diagnostics:
     /// every backtrack traces to one of these.
     pub fn failed_preds(&self) -> Vec<PredId> {

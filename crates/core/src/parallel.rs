@@ -132,6 +132,21 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
         &self.stats
     }
 
+    /// The memoised solution table as `(target, premises)` pairs, sorted by
+    /// target predicate — the same shape as
+    /// [`SerialEngine::solutions`](crate::engine::SerialEngine::solutions),
+    /// and deterministic across thread counts because the scheduler commits
+    /// results in issue order.
+    pub fn solutions(&self) -> Vec<(Predicate, Vec<Predicate>)> {
+        let mut out: Vec<(Predicate, Vec<Predicate>)> = self
+            .memo
+            .iter()
+            .map(|(&p, ab)| (self.store.get(p).clone(), self.store.resolve(ab)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Learns an inductive invariant proving `properties`, or `None`.
     ///
     /// Runs a persistent worker pool for the whole call. The scheduler

@@ -1,0 +1,136 @@
+//! Property-based tests for the proof pipeline: every DRAT stream the
+//! solver emits on a random CNF must pass the independent checker, both for
+//! plain refutations and for assumption-based UNSATs certified by the
+//! wrapper trick; and damaged streams must be rejected.
+
+use hh_proof::{check_proof, check_proof_with_assumptions, CheckError, MemoryProof, ProofLine};
+use hh_sat::{dimacs, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random clause set over `num_vars` variables, as signed var indices.
+fn arb_cnf(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses)
+}
+
+fn build_solver(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for clause in clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+/// Runs a solver on the clauses with proof logging attached and returns
+/// `(formula snapshot, result, proof)`. The snapshot is taken before
+/// solving — it is the formula the proof stream refutes.
+fn solve_logged(
+    num_vars: usize,
+    clauses: &[Vec<(usize, bool)>],
+    assumptions: &[Lit],
+) -> (Vec<Vec<Lit>>, SolveResult, Vec<ProofLine>) {
+    let mut s = build_solver(num_vars, clauses);
+    let formula = dimacs::from_solver(&s).clauses;
+    let sink = MemoryProof::new();
+    let handle = sink.handle();
+    s.set_proof_sink(Box::new(sink));
+    let res = if assumptions.is_empty() {
+        s.solve()
+    } else {
+        s.solve_with_assumptions(assumptions)
+    };
+    (formula, res, handle.take_lines())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Every UNSAT run's proof stream passes the independent checker
+    /// against the pre-solve formula snapshot.
+    #[test]
+    fn solver_proofs_always_check(clauses in arb_cnf(8, 40)) {
+        let (formula, res, proof) = solve_logged(8, &clauses, &[]);
+        if res == SolveResult::Unsat {
+            let stats = check_proof(&formula, &proof)
+                .unwrap_or_else(|e| panic!("valid proof rejected: {e}\nformula: {clauses:?}"));
+            prop_assert!(stats.lines <= proof.len() + 1);
+        }
+    }
+
+    /// Assumption-based UNSATs check under the wrapper trick: the final
+    /// core is logged as units, which are RUP once the checker installs the
+    /// assumptions as input units.
+    #[test]
+    fn assumption_proofs_always_check(
+        clauses in arb_cnf(7, 30),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+    ) {
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let assumptions: Vec<Lit> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| vars[i].lit((polarity >> i) & 1 == 1))
+            .collect();
+        let (formula, res, proof) = solve_logged(7, &clauses, &assumptions);
+        if res == SolveResult::Unsat {
+            check_proof_with_assumptions(&formula, &assumptions, &proof)
+                .unwrap_or_else(|e| panic!("valid assumption proof rejected: {e}"));
+        }
+    }
+
+    /// Dropping proof lines is detected: the minimal accepted prefix of a
+    /// valid proof becomes invalid when its last line is removed.
+    #[test]
+    fn dropped_proof_line_is_rejected(clauses in arb_cnf(8, 40)) {
+        let (formula, res, proof) = solve_logged(8, &clauses, &[]);
+        if res != SolveResult::Unsat {
+            return Ok(());
+        }
+        prop_assert!(check_proof(&formula, &proof).is_ok());
+        let k = (0..=proof.len())
+            .find(|&k| check_proof(&formula, &proof[..k]).is_ok())
+            .expect("the full proof is accepted");
+        if k > 0 {
+            prop_assert!(
+                check_proof(&formula, &proof[..k - 1]).is_err(),
+                "prefix of length {} accepted but {} is the minimal accepted prefix",
+                k - 1,
+                k
+            );
+        }
+    }
+
+    /// Stripping every addition (keeping deletions) kills any proof whose
+    /// formula does not already refute itself by propagation — deletions
+    /// only ever weaken the clause database.
+    #[test]
+    fn adds_stripped_proof_is_rejected(clauses in arb_cnf(8, 40)) {
+        let (formula, res, proof) = solve_logged(8, &clauses, &[]);
+        if res != SolveResult::Unsat || check_proof(&formula, &[]).is_ok() {
+            return Ok(());
+        }
+        let deletes_only: Vec<ProofLine> = proof
+            .iter()
+            .filter(|l| matches!(l, ProofLine::Delete(_)))
+            .cloned()
+            .collect();
+        prop_assert_eq!(
+            check_proof(&formula, &deletes_only),
+            Err(CheckError::NoRefutation)
+        );
+    }
+
+    /// Text and binary DRAT serialisations round-trip arbitrary streams.
+    #[test]
+    fn drat_serialisation_roundtrips(clauses in arb_cnf(8, 40)) {
+        let (_, res, proof) = solve_logged(8, &clauses, &[]);
+        // SAT runs still log learnt clauses; every stream must round-trip.
+        let _ = res;
+        let text = hh_proof::drat::to_text(&proof);
+        prop_assert_eq!(&hh_proof::drat::parse_text(&text).unwrap(), &proof);
+        let bin = hh_proof::drat::to_binary(&proof);
+        prop_assert_eq!(&hh_proof::drat::parse_binary(&bin).unwrap(), &proof);
+    }
+}

@@ -161,6 +161,23 @@ pub fn load_into_solver(cnf: &Cnf) -> Solver {
     s
 }
 
+/// Captures a solver's current formula as a CNF.
+///
+/// [`Solver::add_clause`] simplifies clauses as they land: unit clauses
+/// vanish into the level-0 trail, falsified literals are stripped, satisfied
+/// clauses are dropped. A naive dump of the clause database would therefore
+/// *not* round-trip — in particular every input unit would be missing. This
+/// dump re-materialises the level-0 units as unit clauses (first, in trail
+/// order) followed by the live non-learnt clauses, which is exactly the
+/// formula a DRAT proof stream from this solver refutes. Must be called at
+/// decision level 0.
+pub fn from_solver(s: &Solver) -> Cnf {
+    Cnf {
+        num_vars: s.num_vars(),
+        clauses: s.formula_clauses(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +242,39 @@ mod tests {
         assert_eq!(cnf.clauses[1].len(), 2);
         let mut s = load_into_solver(&cnf);
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn solver_dump_preserves_level0_units() {
+        // Units are simplified into the trail by `add_clause`; the dump must
+        // re-materialise them so writer -> parser -> loader round-trips to
+        // an equivalent (indeed, identical) formula.
+        let text = "p cnf 4 4\n1 0\n-1 2 3 0\n-3 0\n2 4 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        let s = load_into_solver(&cnf);
+        let dumped = from_solver(&s);
+        assert_eq!(dumped.num_vars, 4);
+        // The unit [1] fixed var 1 and propagation of [-1 2 3] with [-3]
+        // fixed var 2; both units must reappear in the dump.
+        let units: Vec<&Vec<Lit>> = dumped.clauses.iter().filter(|c| c.len() == 1).collect();
+        assert!(units.contains(&&vec![Var::from_index(0).positive()]));
+        assert!(units.contains(&&vec![Var::from_index(2).negative()]));
+        assert!(units.contains(&&vec![Var::from_index(1).positive()]));
+        // Round-trip through text and back is stable.
+        let re = parse_dimacs(&to_dimacs(&dumped)).unwrap();
+        assert_eq!(dumped, re);
+        let re2 = from_solver(&load_into_solver(&re));
+        assert_eq!(re.num_vars, re2.num_vars);
+        // A second trip may drop clauses the units already satisfy, but
+        // never invents clauses and never loses a unit.
+        let set1: std::collections::HashSet<Vec<Lit>> = re.clauses.iter().cloned().collect();
+        let set2: std::collections::HashSet<Vec<Lit>> = re2.clauses.iter().cloned().collect();
+        assert!(set2.is_subset(&set1));
+        for c in &set1 {
+            if c.len() == 1 {
+                assert!(set2.contains(c), "unit {c:?} lost in round-trip");
+            }
+        }
     }
 
     #[test]

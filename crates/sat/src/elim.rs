@@ -82,20 +82,24 @@ impl Solver {
                 }
             }
             if satisfied {
-                self.db.delete(cref);
+                self.delete_clause_logged(cref);
                 continue;
             }
             match kept.len() {
                 0 => {
                     self.ok = false;
+                    self.proof_empty();
                     return false;
                 }
                 1 => {
+                    self.proof_add(&kept);
                     self.unchecked_enqueue(kept[0], None);
-                    self.db.delete(cref);
+                    self.delete_clause_logged(cref);
                 }
                 _ => {
                     if kept.len() < lits.len() {
+                        self.proof_add(&kept);
+                        self.proof_delete(&lits);
                         self.db.get_mut(cref).lits = kept.clone();
                     }
                     for &l in &kept {
@@ -132,14 +136,27 @@ impl Solver {
                     }
                 }
                 self.db.delete(cref);
+                self.proof_delete(&lits);
             }
             for cref in occ.take(!p) {
                 if self.db.get(cref).deleted {
                     continue;
                 }
+                // Stripping the falsified literal is an add-then-delete in
+                // the proof stream: the shortened clause is RUP (the old
+                // clause plus the unit `p`), after which the old one may go.
+                let old = if self.proof_active() {
+                    Some(self.db.get(cref).lits.clone())
+                } else {
+                    None
+                };
                 self.db.get_mut(cref).lits.retain(|&l| l != !p);
                 let lits = self.db.get(cref).lits.clone();
                 debug_assert!(!lits.is_empty());
+                if let Some(old) = &old {
+                    self.proof_add(&lits);
+                    self.proof_delete(old);
+                }
                 if lits.len() == 1 {
                     let u = lits[0];
                     occ.remove(u, cref);
@@ -148,6 +165,7 @@ impl Solver {
                         LBool::True => {}
                         LBool::False => {
                             self.ok = false;
+                            self.proof_empty();
                             return false;
                         }
                         LBool::Undef => self.unchecked_enqueue(u, None),
@@ -215,13 +233,26 @@ impl Solver {
                             occ.remove(l, d);
                         }
                         self.db.delete(d);
+                        self.proof_delete(&dl);
                         self.stats.subsumed_clauses += 1;
                     }
                     Some(rm) => {
                         self.stats.strengthened_lits += 1;
                         occ.remove(rm, d);
+                        // Self-subsuming resolution as add-then-delete: the
+                        // strengthened clause is RUP from `C` and the old
+                        // `D`, both still present when the add is checked.
+                        let old = if self.proof_active() {
+                            Some(self.db.get(d).lits.clone())
+                        } else {
+                            None
+                        };
                         self.db.get_mut(d).lits.retain(|&l| l != rm);
                         let dl = self.db.get(d).lits.clone();
+                        if let Some(old) = &old {
+                            self.proof_add(&dl);
+                            self.proof_delete(old);
+                        }
                         if dl.len() == 1 {
                             let u = dl[0];
                             occ.remove(u, d);
@@ -230,6 +261,7 @@ impl Solver {
                                 LBool::True => {}
                                 LBool::False => {
                                     self.ok = false;
+                                    self.proof_empty();
                                     return false;
                                 }
                                 LBool::Undef => {
@@ -282,6 +314,14 @@ impl Solver {
             }
             // Commit: store and remove the variable's clauses, then add the
             // resolvents.
+            //
+            // Proof logging: the removals are deliberately *not* streamed as
+            // DRAT deletions. [`Solver::restore_var`] may later re-add these
+            // exact clauses, and those re-additions are only trivially
+            // checkable if the checker still holds the originals; deletions
+            // are optional hints, so withholding them is always sound. The
+            // resolvent additions below *are* logged — each is RUP from its
+            // two (still-present) parents.
             let mut stored: Vec<Vec<Lit>> = Vec::with_capacity(budget);
             for &cref in pos.iter().chain(neg.iter()) {
                 let lits = self.db.get(cref).lits.clone();
@@ -295,15 +335,20 @@ impl Solver {
             self.eliminated[idx] = true;
             self.stats.eliminated_vars += 1;
             for r in resolvents {
+                if !r.is_empty() {
+                    self.proof_add(&r);
+                }
                 match r.len() {
                     0 => {
                         self.ok = false;
+                        self.proof_empty();
                         return false;
                     }
                     1 => match self.lit_value(r[0]) {
                         LBool::True => {}
                         LBool::False => {
                             self.ok = false;
+                            self.proof_empty();
                             return false;
                         }
                         LBool::Undef => self.unchecked_enqueue(r[0], None),
@@ -342,7 +387,7 @@ impl Solver {
                         .iter()
                         .any(|l| self.eliminated[l.var().index()])
                 {
-                    self.db.delete(cref);
+                    self.delete_clause_logged(cref);
                     self.stats.deleted_clauses += 1;
                     continue;
                 }
@@ -360,20 +405,24 @@ impl Solver {
                     }
                 }
                 if satisfied {
-                    self.db.delete(cref);
+                    self.delete_clause_logged(cref);
                     continue;
                 }
                 match kept.len() {
                     0 => {
                         self.ok = false;
+                        self.proof_empty();
                         return false;
                     }
                     1 => {
+                        self.proof_add(&kept);
                         self.unchecked_enqueue(kept[0], None);
-                        self.db.delete(cref);
+                        self.delete_clause_logged(cref);
                     }
                     _ => {
                         if kept.len() < lits.len() {
+                            self.proof_add(&kept);
+                            self.proof_delete(&lits);
                             self.db.get_mut(cref).lits = kept;
                         }
                     }

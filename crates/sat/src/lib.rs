@@ -37,6 +37,10 @@
 //!   eliminated variable transparently restore it.
 //! * [`minimize_core`] shrinks assumption cores to local minimality
 //!   (deletion-based), mirroring cvc5's `minimal-unsat-cores`.
+//! * DRAT proof logging: attach a [`proof::ProofSink`] with
+//!   [`Solver::set_proof_sink`] and every learnt clause, inprocessing
+//!   rewrite and deletion is streamed out for independent checking (the
+//!   `hh-proof` crate provides writers and a RUP/RAT checker).
 //! * A small DIMACS reader/writer in [`dimacs`] for debugging and tests.
 
 #![deny(missing_docs)]
@@ -52,7 +56,9 @@ mod probe;
 mod solver;
 
 pub mod dimacs;
+pub mod proof;
 
 pub use lit::{Lit, Var};
 pub use minimize::minimize_core;
+pub use proof::{CountingSink, ProofSink};
 pub use solver::{Config, SolveResult, Solver, SolverStats};

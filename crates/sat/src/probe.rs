@@ -45,9 +45,13 @@ impl Solver {
                 self.cancel_until(0);
                 if failed {
                     self.stats.probed_units += 1;
+                    // The failed-literal unit is RUP by construction: the
+                    // probe *was* the reverse unit propagation.
+                    self.proof_add(&[!p]);
                     self.unchecked_enqueue(!p, None);
                     if self.propagate().is_some() {
                         self.ok = false;
+                        self.proof_empty();
                         return false;
                     }
                 }

@@ -1,0 +1,82 @@
+//! DRAT proof logging interface.
+//!
+//! The solver can stream its clausal inferences to a [`ProofSink`]: every
+//! learnt clause, every inprocessing rewrite (expressed as an addition of the
+//! new clause followed by a deletion of the old one) and every clause-database
+//! deletion. Together with the original input formula this stream forms a
+//! DRAT proof that an independent checker (the `hh-proof` crate) can verify
+//! without trusting any of the solver's reasoning.
+//!
+//! Two deliberate deviations from a byte-exact solver trace keep the stream
+//! checkable under this solver's *assumption-safe* inprocessing:
+//!
+//! * Clauses removed by bounded variable elimination are **not** logged as
+//!   deletions. The solver may later restore an eliminated variable (when a
+//!   caller re-mentions it) by re-adding the stored clauses, and those
+//!   re-additions are only justified if the checker never dropped the
+//!   originals. Keeping them merely weakens the deletion information, which
+//!   is always sound for a forward checker.
+//! * Assumption-based UNSAT answers are certified with the standard wrapper
+//!   trick: the final-core literals are appended as unit additions followed
+//!   by the empty clause. The resulting stream is a valid DRAT refutation of
+//!   `formula ∧ core`.
+
+use crate::lit::Lit;
+
+/// A consumer of DRAT proof events emitted by [`crate::Solver`].
+///
+/// Implementations must be [`Send`] so a solver carrying a sink can still be
+/// moved across worker threads, and [`std::fmt::Debug`] because the solver
+/// derives `Debug`.
+pub trait ProofSink: std::fmt::Debug + Send {
+    /// A clause was derived (or introduced by an inprocessing rewrite). The
+    /// clause is redundant with respect to everything previously in the
+    /// formula: it is RUP (reverse unit propagation) checkable. An empty
+    /// slice is the empty clause, i.e. the refutation is complete.
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// A clause was removed from the solver's database. Deletions are hints:
+    /// a checker may ignore them (this only makes its propagation stronger).
+    fn delete_clause(&mut self, lits: &[Lit]);
+}
+
+/// A sink that counts events and bytes but stores nothing. Useful for
+/// measuring proof-logging overhead without I/O.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Number of `add_clause` events seen.
+    pub adds: u64,
+    /// Number of `delete_clause` events seen.
+    pub deletes: u64,
+    /// Total literal count across all events.
+    pub lits: u64,
+}
+
+impl ProofSink for CountingSink {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.adds += 1;
+        self.lits += lits.len() as u64;
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.deletes += 1;
+        self.lits += lits.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        let a = crate::lit::Var::from_index(0).positive();
+        s.add_clause(&[a, !a]);
+        s.delete_clause(&[a]);
+        s.add_clause(&[]);
+        assert_eq!(s.adds, 2);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.lits, 3);
+    }
+}

@@ -16,6 +16,7 @@
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarOrderHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofSink;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,12 @@ pub struct Solver {
     /// False iff a top-level conflict has been derived (formula is UNSAT
     /// regardless of assumptions).
     pub(crate) ok: bool,
+    /// An input clause falsified outright by the level-0 trail at
+    /// [`Solver::add_clause`] time. The clause database never stores it, but
+    /// [`Solver::formula_clauses`] must include it — without it the
+    /// snapshot would lose the input-level contradiction and no proof
+    /// stream could refute it.
+    input_conflict: Option<Vec<Lit>>,
     pub(crate) model: Vec<LBool>,
     core: Vec<Lit>,
     max_learnts: f64,
@@ -159,6 +166,12 @@ pub struct Solver {
     pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
     /// Value of `stats.conflicts` at the last simplify run (cadence anchor).
     last_simplify_conflicts: u64,
+    /// Optional DRAT proof stream (see [`crate::proof::ProofSink`]).
+    proof: Option<Box<dyn ProofSink>>,
+    /// Whether the permanent empty clause has been logged (the formula
+    /// itself, not just an assumption set, was refuted). Keeps the stream
+    /// free of duplicate empty clauses across repeated solve calls.
+    proof_done: bool,
 }
 
 impl Default for Solver {
@@ -192,6 +205,7 @@ impl Solver {
             level: Vec::new(),
             seen: Vec::new(),
             ok: true,
+            input_conflict: None,
             model: Vec::new(),
             core: Vec::new(),
             max_learnts: 0.0,
@@ -200,6 +214,102 @@ impl Solver {
             eliminated: Vec::new(),
             elim_stack: Vec::new(),
             last_simplify_conflicts: 0,
+            proof: None,
+            proof_done: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proof logging
+    // ------------------------------------------------------------------
+
+    /// Attaches a DRAT proof sink. From this point on every learnt clause,
+    /// inprocessing rewrite and clause deletion is streamed to `sink` (see
+    /// the [`crate::proof`] module for the exact conventions). For a
+    /// checkable proof the sink should be attached before the first solve
+    /// call, and the checker should be given the formula as captured by
+    /// [`Solver::formula_clauses`].
+    ///
+    /// Attaching a sink disables [`Solver::import_clauses`]: externally
+    /// imported clauses are not derivable from this solver's own stream.
+    pub fn set_proof_sink(&mut self, sink: Box<dyn ProofSink>) {
+        self.proof = Some(sink);
+    }
+
+    /// Detaches and returns the proof sink, if any.
+    pub fn take_proof_sink(&mut self) -> Option<Box<dyn ProofSink>> {
+        self.proof.take()
+    }
+
+    /// Whether a proof sink is currently attached. This is the exact branch
+    /// every logging site pays when proof logging is off, so it doubles as
+    /// the probe for overhead measurements.
+    #[inline]
+    pub fn proof_active(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Snapshot of the current formula as seen by a proof checker: the
+    /// level-0 implied units followed by every live non-learnt clause.
+    ///
+    /// Taken right after clause loading (before any solve call) this is the
+    /// input formula a DRAT stream from this solver refutes. Must be called
+    /// at decision level 0.
+    pub fn formula_clauses(&self) -> Vec<Vec<Lit>> {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut out = Vec::new();
+        let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..bound] {
+            out.push(vec![l]);
+        }
+        for cref in self.db.live_refs() {
+            let c = self.db.get(cref);
+            if !c.learnt {
+                out.push(c.lits.clone());
+            }
+        }
+        if let Some(c) = &self.input_conflict {
+            out.push(c.clone());
+        }
+        out
+    }
+
+    /// Logs a derived clause to the proof stream, if one is attached.
+    #[inline]
+    pub(crate) fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(sink) = &mut self.proof {
+            sink.add_clause(lits);
+        }
+    }
+
+    /// Logs a clause deletion to the proof stream, if one is attached.
+    #[inline]
+    pub(crate) fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(sink) = &mut self.proof {
+            sink.delete_clause(lits);
+        }
+    }
+
+    /// Logs the permanent empty clause (idempotent). Called at every site
+    /// that sets `ok = false`: once the formula is refuted the stream is
+    /// complete and further lines would be noise.
+    #[inline]
+    pub(crate) fn proof_empty(&mut self) {
+        if self.proof.is_some() && !self.proof_done {
+            self.proof_done = true;
+            self.proof_add(&[]);
+        }
+    }
+
+    /// Deletes `cref` from the clause database, logging the deletion. The
+    /// literals are captured first because [`ClauseDb::delete`] clears them.
+    pub(crate) fn delete_clause_logged(&mut self, cref: ClauseRef) {
+        if self.proof.is_some() {
+            let lits = self.db.get(cref).lits.clone();
+            self.db.delete(cref);
+            self.proof_delete(&lits);
+        } else {
+            self.db.delete(cref);
         }
     }
 
@@ -300,12 +410,17 @@ impl Solver {
         match filtered.len() {
             0 => {
                 self.ok = false;
+                if self.input_conflict.is_none() {
+                    self.input_conflict = Some(c);
+                }
+                self.proof_empty();
                 false
             }
             1 => {
                 self.unchecked_enqueue(filtered[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    self.proof_empty();
                 }
                 self.ok
             }
@@ -355,6 +470,7 @@ impl Solver {
         self.model.clear();
         self.core.clear();
         if !self.ok {
+            self.proof_empty();
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
@@ -382,6 +498,19 @@ impl Solver {
                     self.cancel_until(0);
                     if result == SolveResult::Sat {
                         self.extend_model();
+                    } else if self.ok && self.proof.is_some() {
+                        // Assumption-based UNSAT: the standard DRAT wrapper
+                        // trick. The final-core literals are logged as unit
+                        // additions followed by the empty clause; a checker
+                        // treating the core as part of the input formula
+                        // (see `hh-proof`) then verifies the whole stream by
+                        // plain RUP. The formula itself is not refuted, so
+                        // `proof_done` stays clear.
+                        let core = self.core.clone();
+                        for &a in &core {
+                            self.proof_add(&[a]);
+                        }
+                        self.proof_add(&[]);
                     }
                     return result;
                 }
@@ -473,8 +602,23 @@ impl Solver {
     /// number of clauses actually added (tautologies and already-satisfied
     /// clauses are filtered by [`Solver::add_clause`]).
     pub fn import_clauses(&mut self, clauses: &[Vec<Lit>]) -> usize {
+        // Imported clauses are implied by the peer's formula, not derivable
+        // from this solver's own inference stream, so they would make an
+        // attached DRAT proof uncheckable. Imports are best-effort redundant
+        // knowledge; under proof logging we simply decline them.
+        if self.proof.is_some() {
+            return 0;
+        }
         let mut added = 0;
         for cl in clauses {
+            // A clause over a variable this solver has eliminated would force
+            // `add_clause` to restore the variable (and transitively its
+            // defining clauses) purely to accommodate optional knowledge,
+            // perturbing the receiver's clause database and its elimination
+            // record. Imports are free to be dropped, so skip such clauses.
+            if cl.iter().any(|l| self.eliminated[l.var().index()]) {
+                continue;
+            }
             let before = self.db.len() + self.trail.len();
             if !self.add_clause(cl) {
                 // An implied clause can still expose unsatisfiability that
@@ -550,6 +694,7 @@ impl Solver {
         self.last_simplify_conflicts = self.stats.conflicts;
         if self.propagate().is_some() {
             self.ok = false;
+            self.proof_empty();
             return false;
         }
         // Top-level assignments need no reason clauses for conflict
@@ -593,6 +738,7 @@ impl Solver {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.proof_empty();
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, backtrack_level) = self.analyze(confl);
@@ -915,11 +1061,14 @@ impl Solver {
         match learnt.len() {
             0 => {
                 self.ok = false;
+                self.proof_empty();
             }
             1 => {
+                self.proof_add(&learnt);
                 self.unchecked_enqueue(learnt[0], None);
             }
             _ => {
+                self.proof_add(&learnt);
                 let lbd = self.compute_lbd(&learnt);
                 let asserting = learnt[0];
                 let cref = self.db.alloc(learnt, true, lbd);
@@ -1004,7 +1153,7 @@ impl Solver {
             if c.lbd <= 2 || self.is_locked(cref) {
                 continue;
             }
-            self.db.delete(cref);
+            self.delete_clause_logged(cref);
             deleted += 1;
             self.stats.deleted_clauses += 1;
         }
@@ -1336,6 +1485,107 @@ mod tests {
         );
         let core = s.unsat_core().to_vec();
         assert!(core.contains(&vs[1]) && core.contains(&!vs[2]));
+    }
+
+    #[test]
+    fn import_over_eliminated_var_is_skipped() {
+        let (mut s, vs) = chain_solver();
+        s.freeze(vs[0].var());
+        s.freeze(vs[3].var());
+        assert!(s.simplify());
+        assert!(s.is_eliminated(vs[1].var()));
+        // An import touching eliminated b must be dropped (imports are
+        // optional knowledge; restoring b just to hold one would perturb
+        // the clause database), while the clause over live vars lands.
+        let added = s.import_clauses(&[vec![vs[1], vs[3]], vec![vs[0], vs[3]]]);
+        assert_eq!(added, 1);
+        assert!(
+            s.is_eliminated(vs[1].var()),
+            "import must not restore an eliminated variable"
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// (is_delete, literals) in emission order.
+    type ProofEvents = std::sync::Arc<std::sync::Mutex<Vec<(bool, Vec<Lit>)>>>;
+
+    /// A test sink recording every event through a shared handle.
+    #[derive(Debug, Clone, Default)]
+    struct RecordingSink {
+        events: ProofEvents,
+    }
+
+    impl crate::proof::ProofSink for RecordingSink {
+        fn add_clause(&mut self, lits: &[Lit]) {
+            self.events.lock().unwrap().push((false, lits.to_vec()));
+        }
+        fn delete_clause(&mut self, lits: &[Lit]) {
+            self.events.lock().unwrap().push((true, lits.to_vec()));
+        }
+    }
+
+    #[test]
+    fn proof_sink_logs_refutation_ending_in_empty_clause() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[a, b]);
+        s.add_clause(&[a, !b]);
+        s.add_clause(&[!a, b]);
+        s.add_clause(&[!a, !b]);
+        let sink = RecordingSink::default();
+        let events = sink.events.clone();
+        s.set_proof_sink(Box::new(sink));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let ev = events.lock().unwrap();
+        let adds: Vec<&Vec<Lit>> = ev.iter().filter(|(d, _)| !d).map(|(_, c)| c).collect();
+        assert!(!adds.is_empty(), "an UNSAT run must log derivations");
+        assert!(
+            adds.last().unwrap().is_empty(),
+            "the proof must end with the empty clause, got {adds:?}"
+        );
+    }
+
+    #[test]
+    fn proof_sink_logs_assumption_core_as_units() {
+        // SAT formula, UNSAT only under assumptions: the wrapper trick must
+        // log the negated final core as units followed by the empty clause,
+        // certifying formula ∧ assumptions ⊢ ⊥.
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let c = s.new_var().positive();
+        s.add_clause(&[!a, c]);
+        s.add_clause(&[!b, !c]);
+        let sink = RecordingSink::default();
+        let events = sink.events.clone();
+        s.set_proof_sink(Box::new(sink));
+        assert_eq!(s.solve_with_assumptions(&[a, b]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        let ev = events.lock().unwrap();
+        let adds: Vec<&Vec<Lit>> = ev.iter().filter(|(d, _)| !d).map(|(_, c)| c).collect();
+        assert!(adds.last().unwrap().is_empty());
+        for l in &core {
+            assert!(
+                adds.iter().any(|cl| cl.as_slice() == [*l]),
+                "core literal {l:?} must be logged as a unit"
+            );
+        }
+    }
+
+    #[test]
+    fn import_clauses_declines_under_proof_logging() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[a, b]);
+        s.set_proof_sink(Box::new(crate::proof::CountingSink::default()));
+        // Imports carry no derivation, so they would punch holes in the
+        // DRAT stream; under logging they must be declined wholesale.
+        assert_eq!(s.import_clauses(&[vec![a, !b]]), 0);
+        assert!(s.take_proof_sink().is_some());
+        assert_eq!(s.import_clauses(&[vec![a, !b]]), 1);
     }
 
     #[test]

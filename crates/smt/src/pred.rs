@@ -273,6 +273,187 @@ impl Predicate {
         }
     }
 
+    /// Serialises the predicate to the certificate wire format: a single
+    /// line of whitespace-separated tokens, with states referenced by their
+    /// *product-netlist* names so the encoding survives across processes
+    /// (state ids are not stable identifiers; names are).
+    ///
+    /// The format is prefix self-delimiting (`Impl` bodies nest without
+    /// brackets):
+    ///
+    /// ```text
+    /// eq    <left> <right>
+    /// eqc   <left> <right> <width> <bits-hex>
+    /// inset <left> <right> <label> <n> <mask-hex>:<value-hex> ...
+    /// impl  <guard-left> <guard-right> <body tokens...>
+    /// ```
+    pub fn to_wire(&self, netlist: &Netlist) -> String {
+        let mut out = String::new();
+        self.wire_into(netlist, &mut out);
+        out
+    }
+
+    fn wire_into(&self, netlist: &Netlist, out: &mut String) {
+        use std::fmt::Write as _;
+        let name = |s: StateId| wire_escape(netlist.state_name(s));
+        match self {
+            Predicate::Eq { left, right } => {
+                let _ = write!(out, "eq {} {}", name(*left), name(*right));
+            }
+            Predicate::EqConst { left, right, value } => {
+                let _ = write!(
+                    out,
+                    "eqc {} {} {} {:x}",
+                    name(*left),
+                    name(*right),
+                    value.width(),
+                    value.bits()
+                );
+            }
+            Predicate::InSet {
+                left,
+                right,
+                patterns,
+                label,
+            } => {
+                let tag = match label {
+                    SetLabel::EqConstSet => "eqconstset".to_string(),
+                    SetLabel::InSafeSet => "insafeset".to_string(),
+                    SetLabel::InSafeUop => "insafeuop".to_string(),
+                    SetLabel::Expert(s) => format!("expert:{}", wire_escape(s)),
+                };
+                let _ = write!(
+                    out,
+                    "inset {} {} {} {}",
+                    name(*left),
+                    name(*right),
+                    tag,
+                    patterns.len()
+                );
+                for p in patterns {
+                    let _ = write!(out, " {:x}:{:x}", p.mask, p.value);
+                }
+            }
+            Predicate::Impl {
+                guard_left,
+                guard_right,
+                body,
+            } => {
+                let _ = write!(out, "impl {} {} ", name(*guard_left), name(*guard_right));
+                body.wire_into(netlist, out);
+            }
+        }
+    }
+
+    /// Parses the wire format produced by [`Predicate::to_wire`], resolving
+    /// state names against `netlist`. The whole token stream must be
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input or when a state
+    /// name does not exist in the netlist (the certificate and the design it
+    /// claims to certify disagree).
+    pub fn from_wire(text: &str, netlist: &Netlist) -> Result<Predicate, String> {
+        let mut toks = text.split_whitespace();
+        let pred = Predicate::parse_wire(&mut toks, netlist)?;
+        match toks.next() {
+            None => Ok(pred),
+            Some(t) => Err(format!("trailing token {t:?} after predicate")),
+        }
+    }
+
+    fn parse_wire<'t>(
+        toks: &mut impl Iterator<Item = &'t str>,
+        netlist: &Netlist,
+    ) -> Result<Predicate, String> {
+        let mut next = |what: &str| {
+            toks.next()
+                .ok_or_else(|| format!("unexpected end of predicate: missing {what}"))
+        };
+        let state = |tok: &str| {
+            let name = wire_unescape(tok);
+            netlist
+                .find_state(&name)
+                .ok_or_else(|| format!("unknown state {name:?}"))
+        };
+        let kind = next("kind")?;
+        match kind {
+            "eq" => Ok(Predicate::Eq {
+                left: state(next("left")?)?,
+                right: state(next("right")?)?,
+            }),
+            "eqc" => {
+                let left = state(next("left")?)?;
+                let right = state(next("right")?)?;
+                let width: u32 = next("width")?
+                    .parse()
+                    .map_err(|e| format!("bad width: {e}"))?;
+                if width == 0 || width > 64 {
+                    return Err(format!("bad width {width}"));
+                }
+                let bits =
+                    u64::from_str_radix(next("bits")?, 16).map_err(|e| format!("bad bits: {e}"))?;
+                if width < 64 && bits >= 1u64 << width {
+                    return Err(format!("constant {bits:#x} exceeds width {width}"));
+                }
+                Ok(Predicate::EqConst {
+                    left,
+                    right,
+                    value: Bv::new(width, bits),
+                })
+            }
+            "inset" => {
+                let left = state(next("left")?)?;
+                let right = state(next("right")?)?;
+                let tag = next("label")?;
+                let label = match tag {
+                    "eqconstset" => SetLabel::EqConstSet,
+                    "insafeset" => SetLabel::InSafeSet,
+                    "insafeuop" => SetLabel::InSafeUop,
+                    other => match other.strip_prefix("expert:") {
+                        Some(s) => SetLabel::Expert(wire_unescape(s)),
+                        None => return Err(format!("unknown set label {other:?}")),
+                    },
+                };
+                let n: usize = next("pattern count")?
+                    .parse()
+                    .map_err(|e| format!("bad pattern count: {e}"))?;
+                let mut patterns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let tok = next("pattern")?;
+                    let (m, v) = tok
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad pattern {tok:?}"))?;
+                    let mask = u64::from_str_radix(m, 16).map_err(|e| format!("bad mask: {e}"))?;
+                    let value =
+                        u64::from_str_radix(v, 16).map_err(|e| format!("bad value: {e}"))?;
+                    if value & mask != value {
+                        return Err(format!("pattern value {value:#x} outside mask {mask:#x}"));
+                    }
+                    patterns.push(Pattern { mask, value });
+                }
+                Ok(Predicate::InSet {
+                    left,
+                    right,
+                    patterns,
+                    label,
+                })
+            }
+            "impl" => {
+                let guard_left = state(next("guard left")?)?;
+                let guard_right = state(next("guard right")?)?;
+                let body = Predicate::parse_wire(toks, netlist)?;
+                Ok(Predicate::Impl {
+                    guard_left,
+                    guard_right,
+                    body: Box::new(body),
+                })
+            }
+            other => Err(format!("unknown predicate kind {other:?}")),
+        }
+    }
+
     /// Human-readable rendering using the product netlist's state names.
     pub fn describe(&self, netlist: &Netlist) -> String {
         let base = |s: StateId| {
@@ -298,6 +479,20 @@ impl Predicate {
             } => format!("Impl({} -> {})", base(*guard_left), body.describe(netlist)),
         }
     }
+}
+
+/// Escapes whitespace and `%` so arbitrary names survive the
+/// whitespace-tokenised wire format.
+fn wire_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace(' ', "%20")
+        .replace('\t', "%09")
+}
+
+fn wire_unescape(s: &str) -> String {
+    s.replace("%20", " ")
+        .replace("%09", "\t")
+        .replace("%25", "%")
 }
 
 #[cfg(test)]
@@ -490,6 +685,74 @@ mod tests {
         assert!(states.contains(&m.left(valid)));
         assert!(states.contains(&m.right(uop)));
         assert_eq!(pred.states(), (m.left(uop), m.right(uop)));
+    }
+
+    #[test]
+    fn wire_format_roundtrips_every_shape() {
+        let mut base = Netlist::new("t");
+        let valid = base.state("v", 1, Bv::bit(false));
+        let uop = base.state("uop", 8, Bv::zero(8));
+        base.keep_state(valid);
+        base.keep_state(uop);
+        let m = Miter::build(&base);
+        let n = m.netlist();
+        let (l, r) = (m.left(uop), m.right(uop));
+        let preds = vec![
+            Predicate::eq(l, r),
+            Predicate::eq_const(l, r, Bv::new(8, 0xa5)),
+            Predicate::in_set(
+                l,
+                r,
+                vec![
+                    Pattern {
+                        mask: 0xf0,
+                        value: 0x30,
+                    },
+                    Pattern::exact(8, 0x13),
+                ],
+                SetLabel::InSafeSet,
+            ),
+            Predicate::in_set(
+                l,
+                r,
+                vec![Pattern::exact(8, 1)],
+                SetLabel::Expert("my annotation %".into()),
+            ),
+            Predicate::implication(
+                m.left(valid),
+                m.right(valid),
+                Predicate::implication(m.left(valid), m.right(valid), Predicate::eq(l, r)),
+            ),
+        ];
+        for p in &preds {
+            let wire = p.to_wire(n);
+            let back = Predicate::from_wire(&wire, n).unwrap_or_else(|e| {
+                panic!("{wire:?} failed to parse: {e}");
+            });
+            assert_eq!(&back, p, "wire {wire:?}");
+        }
+    }
+
+    #[test]
+    fn wire_format_rejects_malformed_input() {
+        let (_base, m) = simple_miter();
+        let n = m.netlist();
+        for bad in [
+            "",
+            "eq l$r",                         // missing right
+            "eq l$r r$nope",                  // unknown state
+            "frob l$r r$r",                   // unknown kind
+            "eqc l$r r$r 0 0",                // zero width
+            "eqc l$r r$r 8 1ff",              // constant exceeds width
+            "inset l$r r$r insafeset 2 ff:1", // missing pattern
+            "inset l$r r$r insafeset 1 f:10", // value outside mask
+            "eq l$r r$r trailing",            // trailing garbage
+        ] {
+            assert!(
+                Predicate::from_wire(bad, n).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct AbductionSession<'a> {
     /// `(vars, clauses)` at the end of the previous call's registration
     /// phase; deltas against it give per-query allocation telemetry.
     last_size: (usize, usize),
+    /// Proof sink handed over before the lazy base build; installed into
+    /// the solver the moment the encoding exists (per-session proof
+    /// scoping: the sink's lifetime is bounded by this session's solver).
+    pending_sink: Option<Box<dyn hh_sat::proof::ProofSink>>,
     queries: u64,
 }
 
@@ -125,6 +129,7 @@ impl<'a> AbductionSession<'a> {
             strength: Vec::new(),
             slot_of_lit: HashMap::new(),
             last_size: (0, 0),
+            pending_sink: None,
             queries: 0,
         }
     }
@@ -157,6 +162,32 @@ impl<'a> AbductionSession<'a> {
     /// The session's target predicate.
     pub fn target(&self) -> &Predicate {
         &self.target
+    }
+
+    /// Attaches a DRAT proof sink scoped to this session's solver.
+    ///
+    /// If the base encoding already exists the sink starts logging
+    /// immediately; otherwise it is installed the moment the first
+    /// [`AbductionSession::solve`] builds it, so the logged stream covers
+    /// every learnt clause the solver ever derives. While a sink is
+    /// attached, learnt-clause import is disabled (imported clauses carry
+    /// no derivation, so they would punch holes in the proof).
+    pub fn attach_proof_sink(&mut self, sink: Box<dyn hh_sat::proof::ProofSink>) {
+        match self.enc.as_mut() {
+            Some(enc) => enc.cnf_mut().set_proof_sink(sink),
+            None => self.pending_sink = Some(sink),
+        }
+    }
+
+    /// Detaches the session's proof sink (installed or still pending), or
+    /// `None` if no sink was attached.
+    pub fn take_proof_sink(&mut self) -> Option<Box<dyn hh_sat::proof::ProofSink>> {
+        if let Some(sink) = self.pending_sink.take() {
+            return Some(sink);
+        }
+        self.enc
+            .as_mut()
+            .and_then(|e| e.cnf_mut().take_proof_sink())
     }
 
     /// Number of queries answered so far.
@@ -275,6 +306,11 @@ impl<'a> AbductionSession<'a> {
                 }
             };
             self.n_base_vars = enc.size().0;
+            if let Some(sink) = self.pending_sink.take() {
+                // Installed before any import so the no-unverified-imports
+                // rule applies from the first clause on.
+                enc.cnf_mut().set_proof_sink(sink);
+            }
             if !self.pending_imports.is_empty() {
                 let imports = std::mem::take(&mut self.pending_imports);
                 imported_clauses = enc.cnf_mut().solver_mut().import_clauses(&imports);

@@ -6,6 +6,7 @@
 //! hardware's own decode.
 
 use hh_isa::{MaskMatch, Mnemonic, ALL_MNEMONICS};
+use hh_netlist::miter::Miter;
 use hh_netlist::{Netlist, NodeId};
 use std::collections::HashMap;
 
@@ -56,6 +57,29 @@ pub fn matches_pattern(n: &mut Netlist, word: NodeId, p: MaskMatch) -> NodeId {
     let want = n.c(32, p.matches as u64);
     let masked = n.and(word, mask);
     n.eq(masked, want)
+}
+
+/// Builds the safe-set-constrained miter of a design: the product circuit
+/// with the instruction input restricted to words matching one of the given
+/// mask/match `patterns` (VeloCT's alphabet Σ).
+///
+/// This is the *single* construction both the learner (`veloct`) and the
+/// certificate checker (`hh-proof`) use; a certificate's obligation CNFs are
+/// only reproducible because both sides build the identical miter from the
+/// identical pattern list.
+pub fn constrained_miter(design: &crate::Design, patterns: &[MaskMatch]) -> Miter {
+    let mut miter = Miter::build(&design.netlist);
+    let instr = miter
+        .netlist()
+        .find_input(&design.instr_input)
+        .expect("design has an instruction input");
+    let terms: Vec<NodeId> = patterns
+        .iter()
+        .map(|&mm| matches_pattern(miter.netlist_mut(), instr, mm))
+        .collect();
+    let constraint = miter.netlist_mut().or_all(&terms);
+    miter.netlist_mut().add_constraint(constraint);
+    miter
 }
 
 /// The number of register-index bits used for `nregs` registers.

@@ -87,9 +87,50 @@ impl Design {
     }
 }
 
+/// Reconstructs a builtin design from its netlist name (e.g.
+/// `rocketlite_x16`, `smallboomlite_x32`).
+///
+/// Every builtin core names its netlist `<core>_x<xlen>`, so the name alone
+/// is a complete, durable design reference — this is what `hh-proof`
+/// certificates store, and resolving it re-runs the exact constructor that
+/// produced the certified design. Returns `None` for unknown names (e.g.
+/// btor2-loaded designs, which have no reconstructible reference).
+pub fn builtin_by_netlist_name(name: &str) -> Option<Design> {
+    let (core, xlen) = name.rsplit_once("_x")?;
+    let xlen: u32 = xlen.parse().ok()?;
+    if !(1..=64).contains(&xlen) {
+        return None;
+    }
+    use boomlite::{boom_lite, BoomVariant};
+    let design = match core {
+        "rocketlite" => rocketlite::rocket_lite(xlen),
+        "smallboomlite" => boom_lite(BoomVariant::Small, xlen),
+        "mediumboomlite" => boom_lite(BoomVariant::Medium, xlen),
+        "largeboomlite" => boom_lite(BoomVariant::Large, xlen),
+        "megaboomlite" => boom_lite(BoomVariant::Mega, xlen),
+        _ => return None,
+    };
+    debug_assert_eq!(design.netlist.name(), name);
+    Some(design)
+}
+
 #[cfg(test)]
 mod tests {
     use crate::rocketlite::rocket_lite;
+
+    #[test]
+    fn builtin_registry_roundtrips_netlist_names() {
+        let d = rocket_lite(16);
+        let re = crate::builtin_by_netlist_name(d.netlist.name()).expect("rocketlite resolves");
+        assert_eq!(re.netlist.name(), d.netlist.name());
+        assert_eq!(re.xlen, d.xlen);
+        assert_eq!(re.observable.len(), d.observable.len());
+        let b = crate::boomlite::boom_lite(crate::boomlite::BoomVariant::Small, 16);
+        let re = crate::builtin_by_netlist_name(b.netlist.name()).expect("boomlite resolves");
+        assert_eq!(re.netlist.name(), b.netlist.name());
+        assert!(crate::builtin_by_netlist_name("mystery_x16").is_none());
+        assert!(crate::builtin_by_netlist_name("rocketlite").is_none());
+    }
 
     #[test]
     fn design_metadata_is_consistent() {

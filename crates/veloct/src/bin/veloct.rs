@@ -35,6 +35,7 @@ struct Args {
     max_latency: usize,
     threads: usize,
     impl_predicates: bool,
+    certify: Option<String>,
 }
 
 fn usage() -> ! {
@@ -44,7 +45,7 @@ fn usage() -> ! {
          \x20               --observable <state>... --secret-reg <state>...\n\
          \x20               [--mask <valid>=<field>[,<field>...]]...\n\
          \x20               [--xlen N] [--max-latency N]\n\
-         \x20      common: [--threads N] [--impl-predicates]"
+         \x20      common: [--threads N] [--impl-predicates] [--certify <dir>]"
     );
     std::process::exit(2);
 }
@@ -77,6 +78,7 @@ fn parse_args() -> Args {
             "--max-latency" => args.max_latency = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--impl-predicates" => args.impl_predicates = true,
+            "--certify" => args.certify = Some(val(&mut it)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -180,6 +182,7 @@ fn main() -> ExitCode {
             threads: args.threads,
             pairs_per_instr: 1,
             impl_predicates: args.impl_predicates,
+            certify: args.certify.is_some(),
             ..VeloctConfig::default()
         },
     );
@@ -208,7 +211,28 @@ fn main() -> ExitCode {
                 report.stats.backtracks,
                 report.stats.smt_queries
             );
-            ExitCode::SUCCESS
+            match &args.certify {
+                None => ExitCode::SUCCESS,
+                Some(dir) => {
+                    let dir = std::path::Path::new(dir);
+                    match veloct.emit_certificate(&report.safe, inv, &report.solutions, dir) {
+                        Ok(summary) => {
+                            println!(
+                                "certificate: {} obligations, {} proof lines, {} bytes -> {}",
+                                summary.obligations,
+                                summary.proof_lines,
+                                summary.proof_bytes,
+                                dir.display()
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("certificate emission failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+            }
         }
         None => {
             println!("\nno invariant learned for any candidate subset");

@@ -39,9 +39,7 @@ pub mod examples;
 use examples::{differential_test, generate_examples, Divergence};
 use hh_isa::{safe_set_patterns, InstrClass, Instruction, Mnemonic, ALL_MNEMONICS};
 use hh_netlist::miter::Miter;
-use hh_netlist::NodeId;
 use hh_smt::{Pattern, Predicate};
-use hh_uarch::decode::matches_pattern;
 use hh_uarch::Design;
 use hhoudini::baselines::{houdini, sorcar, BaselineBudget, BaselineOutcome, BaselineStats};
 use hhoudini::mine::CoiMiner;
@@ -67,6 +65,13 @@ pub struct VeloctConfig {
     /// from the masking annotations, constraining table payloads only while
     /// their entries are valid.
     pub impl_predicates: bool,
+    /// Run in certification mode: cross-cone learnt-clause transfer is
+    /// disabled (imported clauses carry no derivation, so they would punch
+    /// holes in DRAT proofs), and [`Veloct::emit_certificate`] can replay
+    /// the memoised solutions into an `hh-proof` bundle. Learning results
+    /// are bit-identical with the flag on or off — only solver-internal
+    /// sharing changes.
+    pub certify: bool,
 }
 
 impl Default for VeloctConfig {
@@ -80,6 +85,7 @@ impl Default for VeloctConfig {
             seed: 0xD1CE,
             fallback_drops: 4,
             impl_predicates: false,
+            certify: false,
         }
     }
 }
@@ -110,6 +116,10 @@ pub struct LearnReport {
     pub divergence: Option<Divergence>,
     /// Design size (state bits) for reporting.
     pub state_bits: u64,
+    /// The engine's memoised solution table: per invariant predicate, the
+    /// premise set that made it relatively inductive. This is the raw
+    /// material for [`Veloct::emit_certificate`].
+    pub solutions: Vec<(Predicate, Vec<Predicate>)>,
 }
 
 /// Result of full safe-set synthesis (classification).
@@ -125,6 +135,9 @@ pub struct SafeSetReport {
     pub stats: Stats,
     /// Positive examples used by the final run.
     pub num_examples: usize,
+    /// Solution table of the final (successful) learning run — see
+    /// [`LearnReport::solutions`].
+    pub solutions: Vec<(Predicate, Vec<Predicate>)>,
 }
 
 /// Which monolithic baseline to run.
@@ -185,16 +198,15 @@ impl<'a> Veloct<'a> {
     }
 
     /// Builds the miter with the safe-set input constraint installed.
+    ///
+    /// Delegates to [`hh_uarch::decode::constrained_miter`] — the single
+    /// construction shared with `hh-proof`'s certificate verifier, so that
+    /// an emitted obligation CNF and its independent re-derivation are
+    /// byte-identical.
     fn build_miter(&self, safe: &[Mnemonic]) -> (Miter, Vec<Pattern>) {
-        let mut miter = Miter::build(&self.design.netlist);
         let patterns = instruction_patterns(safe);
-        // Σ: the instruction input may only carry safe encodings or ε (NOP).
-        let instr = miter
-            .netlist()
-            .find_input(&self.design.instr_input)
-            .expect("design has an instruction input");
-        let constraint = patterns_node(miter.netlist_mut(), instr, &patterns);
-        miter.netlist_mut().add_constraint(constraint);
+        let miter =
+            hh_uarch::decode::constrained_miter(self.design, &pattern_mask_matches(&patterns));
         (miter, patterns)
     }
 
@@ -232,6 +244,7 @@ impl<'a> Veloct<'a> {
                     num_examples: 0,
                     divergence: Some(div),
                     state_bits,
+                    solutions: Vec::new(),
                 }
             }
         };
@@ -248,12 +261,15 @@ impl<'a> Veloct<'a> {
         } else {
             CoiMiner::new(&miter, &examples, Some(patterns), vec![])
         };
-        let mut engine = ParallelEngine::new(
-            miter.netlist(),
-            miner,
-            self.config.engine.clone(),
-            self.config.threads,
-        );
+        let mut engine_config = self.config.engine.clone();
+        if self.config.certify {
+            // Imported learnt clauses carry no DRAT derivation; re-proving
+            // them at import would cost more than the transfer saves, so
+            // certification mode simply turns the sharing off.
+            engine_config.clause_transfer = false;
+        }
+        let mut engine =
+            ParallelEngine::new(miter.netlist(), miner, engine_config, self.config.threads);
         let props = self.property(&miter);
         let invariant = engine.learn(&props);
         LearnReport {
@@ -262,7 +278,29 @@ impl<'a> Veloct<'a> {
             num_examples,
             divergence: None,
             state_bits,
+            solutions: engine.solutions(),
         }
+    }
+
+    /// Replays a learning run's memoised solutions into an `hh-proof`
+    /// certificate bundle at `dir`: one DRAT-certified relative-induction
+    /// obligation per invariant predicate, re-derivable and checkable by
+    /// the standalone `certify` binary with no trust in this process.
+    pub fn emit_certificate(
+        &self,
+        safe: &[Mnemonic],
+        invariant: &Invariant,
+        solutions: &[(Predicate, Vec<Predicate>)],
+        dir: &std::path::Path,
+    ) -> Result<hh_proof::cert::EmitSummary, hh_proof::cert::CertError> {
+        let patterns = instruction_patterns(safe);
+        let cert = hh_proof::cert::build_certificate(
+            self.design,
+            &pattern_mask_matches(&patterns),
+            invariant.preds(),
+            solutions,
+        )?;
+        hh_proof::cert::write_bundle(&cert, dir)
     }
 
     /// Runs a *monolithic* MLIS baseline (HOUDINI or SORCAR, §2.2) on the
@@ -342,6 +380,7 @@ impl<'a> Veloct<'a> {
                     invariant: None,
                     stats: Stats::default(),
                     num_examples: 0,
+                    solutions: Vec::new(),
                 };
             }
             let report = self.learn(&survivors);
@@ -359,6 +398,7 @@ impl<'a> Veloct<'a> {
                         invariant: Some(inv),
                         stats: report.stats,
                         num_examples: report.num_examples,
+                        solutions: report.solutions,
                     };
                 }
                 None => {
@@ -369,6 +409,7 @@ impl<'a> Veloct<'a> {
                             invariant: None,
                             stats: report.stats,
                             num_examples: report.num_examples,
+                            solutions: Vec::new(),
                         };
                     }
                     drops += 1;
@@ -412,17 +453,17 @@ pub fn instruction_patterns(safe: &[Mnemonic]) -> Vec<Pattern> {
     patterns
 }
 
-/// Builds the 1-bit "word matches one of the patterns" node.
-fn patterns_node(n: &mut hh_netlist::Netlist, word: NodeId, patterns: &[Pattern]) -> NodeId {
-    let mut terms = Vec::new();
-    for p in patterns {
-        let mm = hh_isa::MaskMatch {
+/// Converts SMT patterns back into the ISA mask/match form consumed by
+/// [`hh_uarch::decode::constrained_miter`] (and recorded verbatim in
+/// certificate bundles).
+fn pattern_mask_matches(patterns: &[Pattern]) -> Vec<hh_isa::MaskMatch> {
+    patterns
+        .iter()
+        .map(|p| hh_isa::MaskMatch {
             mask: p.mask as u32,
             matches: p.value as u32,
-        };
-        terms.push(matches_pattern(n, word, mm));
-    }
-    n.or_all(&terms)
+        })
+        .collect()
 }
 
 #[cfg(test)]
