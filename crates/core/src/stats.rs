@@ -74,6 +74,15 @@ pub struct Stats {
     pub sat_strengthened_lits: u64,
     /// Top-level units found by failed-literal probing.
     pub sat_probed_units: u64,
+    /// Literals propagated across all SAT queries.
+    pub sat_propagations: u64,
+    /// Conflicts analysed across all SAT queries.
+    pub sat_conflicts: u64,
+    /// Learnt-database reduction rounds across all SAT queries.
+    pub sat_reduces: u64,
+    /// Peak clause-arena footprint (bytes) observed across all sessions —
+    /// a high-water gauge, so folds take the maximum rather than the sum.
+    pub sat_arena_bytes: u64,
     /// Word-level constant folds performed by the blaster's simplifier.
     pub word_const_folds: u64,
     /// Word-level algebraic rewrites performed by the blaster's simplifier.
@@ -221,6 +230,10 @@ impl Stats {
         self.sat_subsumed_clauses += t.subsumed_clauses;
         self.sat_strengthened_lits += t.strengthened_lits;
         self.sat_probed_units += t.probed_units;
+        self.sat_propagations += t.propagations;
+        self.sat_conflicts += t.conflicts;
+        self.sat_reduces += t.reduces;
+        self.sat_arena_bytes = self.sat_arena_bytes.max(t.arena_bytes);
         self.word_const_folds += t.const_folds;
         self.word_rewrites += t.rewrites;
         self.word_strash_hits += t.strash_hits;
@@ -301,6 +314,10 @@ impl Stats {
         self.sat_subsumed_clauses += other.sat_subsumed_clauses;
         self.sat_strengthened_lits += other.sat_strengthened_lits;
         self.sat_probed_units += other.sat_probed_units;
+        self.sat_propagations += other.sat_propagations;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_reduces += other.sat_reduces;
+        self.sat_arena_bytes = self.sat_arena_bytes.max(other.sat_arena_bytes);
         self.word_const_folds += other.word_const_folds;
         self.word_rewrites += other.word_rewrites;
         self.word_strash_hits += other.word_strash_hits;
@@ -342,6 +359,10 @@ impl Stats {
             ("sat.simplify.subsumed_clauses", self.sat_subsumed_clauses),
             ("sat.simplify.strengthened_lits", self.sat_strengthened_lits),
             ("sat.simplify.probed_units", self.sat_probed_units),
+            ("sat.propagations", self.sat_propagations),
+            ("sat.conflicts", self.sat_conflicts),
+            ("sat.reduce", self.sat_reduces),
+            ("sat.arena_bytes", self.sat_arena_bytes),
         ]
     }
 }

@@ -122,6 +122,50 @@ proptest! {
         );
     }
 
+    /// Database reduction and arena compaction only ever *weaken* the DRAT
+    /// stream: a proof logged across forced reduce/compact cycles between
+    /// incremental queries still passes the independent checker. Runs where
+    /// an intermediate query already went UNSAT are skipped — the wrapper
+    /// trick certifies one assumption set per stream.
+    #[test]
+    fn proofs_check_across_reduce_and_compaction(
+        clauses in arb_cnf(7, 30),
+        churn in proptest::collection::vec(
+            proptest::collection::vec((0..7usize, any::<bool>()), 0..=3), 1..4),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+    ) {
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let to_lits = |set: &[(usize, bool)]| -> Vec<Lit> {
+            set.iter().map(|&(v, pos)| vars[v].lit(pos)).collect()
+        };
+        let mut s = build_solver(7, &clauses);
+        let formula = dimacs::from_solver(&s).clauses;
+        let sink = MemoryProof::new();
+        let handle = sink.handle();
+        s.set_proof_sink(Box::new(sink));
+        for set in &churn {
+            if s.solve_with_assumptions(&to_lits(set)) == SolveResult::Unsat {
+                // Stream already carries this set's core units; a later
+                // check under different assumptions would be vacuous.
+                return Ok(());
+            }
+            s.debug_force_reduce();
+            s.debug_force_compact();
+        }
+        let assumptions: Vec<Lit> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| vars[i].lit((polarity >> i) & 1 == 1))
+            .collect();
+        if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+            let proof = handle.take_lines();
+            check_proof_with_assumptions(&formula, &assumptions, &proof)
+                .unwrap_or_else(|e| {
+                    panic!("proof broken by reduce/compaction: {e}\nformula: {clauses:?}")
+                });
+        }
+    }
+
     /// Text and binary DRAT serialisations round-trip arbitrary streams.
     #[test]
     fn drat_serialisation_roundtrips(clauses in arb_cnf(8, 40)) {

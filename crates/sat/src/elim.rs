@@ -27,7 +27,7 @@
 
 use std::collections::VecDeque;
 
-use crate::clause::ClauseRef;
+use crate::clause::{ClauseRef, Tier};
 use crate::lit::{LBool, Lit, Var};
 use crate::occurs::OccIndex;
 use crate::solver::Solver;
@@ -65,10 +65,10 @@ impl Solver {
         let mut cursor = self.trail.len();
         let refs: Vec<ClauseRef> = self.db.live_refs().collect();
         for cref in refs {
-            if self.db.get(cref).learnt {
+            if self.db.is_learnt(cref) {
                 continue; // learnt clauses are scrubbed in the final cleanup
             }
-            let lits = self.db.get(cref).lits.clone();
+            let lits = self.db.lits(cref).to_vec();
             let mut satisfied = false;
             let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
             for &l in &lits {
@@ -100,7 +100,7 @@ impl Solver {
                     if kept.len() < lits.len() {
                         self.proof_add(&kept);
                         self.proof_delete(&lits);
-                        self.db.get_mut(cref).lits = kept.clone();
+                        self.db.shrink_clause(cref, &kept);
                     }
                     for &l in &kept {
                         occ.add(l, cref);
@@ -126,10 +126,10 @@ impl Solver {
             let p = self.trail[*cursor];
             *cursor += 1;
             for cref in occ.take(p) {
-                if self.db.get(cref).deleted {
+                if self.db.is_deleted(cref) {
                     continue;
                 }
-                let lits = self.db.get(cref).lits.clone();
+                let lits = self.db.lits(cref).to_vec();
                 for &l in &lits {
                     if l != p {
                         occ.remove(l, cref);
@@ -139,19 +139,25 @@ impl Solver {
                 self.proof_delete(&lits);
             }
             for cref in occ.take(!p) {
-                if self.db.get(cref).deleted {
+                if self.db.is_deleted(cref) {
                     continue;
                 }
                 // Stripping the falsified literal is an add-then-delete in
                 // the proof stream: the shortened clause is RUP (the old
                 // clause plus the unit `p`), after which the old one may go.
                 let old = if self.proof_active() {
-                    Some(self.db.get(cref).lits.clone())
+                    Some(self.db.lits(cref).to_vec())
                 } else {
                     None
                 };
-                self.db.get_mut(cref).lits.retain(|&l| l != !p);
-                let lits = self.db.get(cref).lits.clone();
+                let lits: Vec<Lit> = self
+                    .db
+                    .lits(cref)
+                    .iter()
+                    .copied()
+                    .filter(|&l| l != !p)
+                    .collect();
+                self.db.shrink_clause(cref, &lits);
                 debug_assert!(!lits.is_empty());
                 if let Some(old) = &old {
                     self.proof_add(&lits);
@@ -188,10 +194,10 @@ impl Solver {
         cursor: &mut usize,
     ) -> bool {
         while let Some(cref) = queue.pop_front() {
-            if self.db.get(cref).deleted {
+            if self.db.is_deleted(cref) {
                 continue;
             }
-            let lits = self.db.get(cref).lits.clone();
+            let lits = self.db.lits(cref).to_vec();
             let best = *lits
                 .iter()
                 .min_by_key(|l| occ.var_occurrences(**l))
@@ -199,10 +205,10 @@ impl Solver {
             let mut cands: Vec<ClauseRef> = occ.list(best).to_vec();
             cands.extend_from_slice(occ.list(!best));
             for d in cands {
-                if d == cref || self.db.get(d).deleted {
+                if d == cref || self.db.is_deleted(d) {
                     continue;
                 }
-                if self.db.get(d).lits.len() < lits.len() {
+                if self.db.size(d) < lits.len() {
                     continue;
                 }
                 // Match every literal of C inside D, allowing at most one
@@ -210,7 +216,7 @@ impl Solver {
                 let mut flipped: Option<Lit> = None;
                 let mut related = true;
                 {
-                    let dlits = &self.db.get(d).lits;
+                    let dlits = self.db.lits(d);
                     for &l in &lits {
                         if dlits.contains(&l) {
                             continue;
@@ -228,7 +234,7 @@ impl Solver {
                 }
                 match flipped {
                     None => {
-                        let dl = self.db.get(d).lits.clone();
+                        let dl = self.db.lits(d).to_vec();
                         for &l in &dl {
                             occ.remove(l, d);
                         }
@@ -243,12 +249,18 @@ impl Solver {
                         // strengthened clause is RUP from `C` and the old
                         // `D`, both still present when the add is checked.
                         let old = if self.proof_active() {
-                            Some(self.db.get(d).lits.clone())
+                            Some(self.db.lits(d).to_vec())
                         } else {
                             None
                         };
-                        self.db.get_mut(d).lits.retain(|&l| l != rm);
-                        let dl = self.db.get(d).lits.clone();
+                        let dl: Vec<Lit> = self
+                            .db
+                            .lits(d)
+                            .iter()
+                            .copied()
+                            .filter(|&l| l != rm)
+                            .collect();
+                        self.db.shrink_clause(d, &dl);
                         if let Some(old) = &old {
                             self.proof_add(&dl);
                             self.proof_delete(old);
@@ -300,7 +312,7 @@ impl Solver {
             let mut blocked = false;
             'pairs: for &p in &pos {
                 for &n in &neg {
-                    if let Some(r) = resolve(&self.db.get(p).lits, &self.db.get(n).lits, v) {
+                    if let Some(r) = resolve(self.db.lits(p), self.db.lits(n), v) {
                         if r.len() > ELIM_CLAUSE_LIMIT || resolvents.len() == budget {
                             blocked = true;
                             break 'pairs;
@@ -324,7 +336,7 @@ impl Solver {
             // two (still-present) parents.
             let mut stored: Vec<Vec<Lit>> = Vec::with_capacity(budget);
             for &cref in pos.iter().chain(neg.iter()) {
-                let lits = self.db.get(cref).lits.clone();
+                let lits = self.db.lits(cref).to_vec();
                 for &l in &lits {
                     occ.remove(l, cref);
                 }
@@ -354,7 +366,7 @@ impl Solver {
                         LBool::Undef => self.unchecked_enqueue(r[0], None),
                     },
                     _ => {
-                        let new_ref = self.db.alloc(r.clone(), false, 0);
+                        let new_ref = self.db.alloc(&r, false, 0, Tier::Core);
                         for &l in &r {
                             occ.add(l, new_ref);
                         }
@@ -379,11 +391,10 @@ impl Solver {
             let mark = self.trail.len();
             let refs: Vec<ClauseRef> = self.db.live_refs().collect();
             for cref in refs {
-                if self.db.get(cref).learnt
+                if self.db.is_learnt(cref)
                     && self
                         .db
-                        .get(cref)
-                        .lits
+                        .lits(cref)
                         .iter()
                         .any(|l| self.eliminated[l.var().index()])
                 {
@@ -391,7 +402,7 @@ impl Solver {
                     self.stats.deleted_clauses += 1;
                     continue;
                 }
-                let lits = self.db.get(cref).lits.clone();
+                let lits = self.db.lits(cref).to_vec();
                 let mut satisfied = false;
                 let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
                 for &l in &lits {
@@ -423,7 +434,7 @@ impl Solver {
                         if kept.len() < lits.len() {
                             self.proof_add(&kept);
                             self.proof_delete(&lits);
-                            self.db.get_mut(cref).lits = kept;
+                            self.db.shrink_clause(cref, &kept);
                         }
                     }
                 }

@@ -68,6 +68,10 @@ impl fmt::Display for Var {
 
 /// A literal: a [`Var`] with a polarity.
 ///
+/// The `repr(transparent)` layout guarantee lets the clause arena store
+/// literals as raw `u32` codes and hand out `&[Lit]` views of the same
+/// memory without copying.
+///
 /// ```
 /// use hh_sat::{Solver, Lit};
 /// let mut s = Solver::new();
@@ -77,6 +81,7 @@ impl fmt::Display for Var {
 /// assert_eq!((!p).var(), v);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Lit(pub(crate) u32);
 
 impl Lit {

@@ -20,6 +20,13 @@
 //!   trick: the final-core literals are appended as unit additions followed
 //!   by the empty clause. The resulting stream is a valid DRAT refutation of
 //!   `formula ∧ core`.
+//!
+//! Clause storage details never leak into the stream. Deletion in the flat
+//! clause arena is lazy (a header bit; the words are reclaimed by a later
+//! in-place compaction), but the deletion *event* is logged exactly once, at
+//! the moment database reduction marks the clause — the checker's view
+//! matches the solver's logical database, not its memory. Compaction itself
+//! moves clauses without changing the clause set and emits nothing.
 
 use crate::lit::Lit;
 

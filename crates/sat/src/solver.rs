@@ -1,22 +1,39 @@
 //! The CDCL solver.
 //!
-//! A MiniSat-style conflict-driven clause-learning solver with:
+//! A conflict-driven clause-learning solver built around a flat clause
+//! arena (see [`crate::clause`]) with:
 //!
-//! * two-literal watching for unit propagation,
-//! * first-UIP conflict analysis with basic clause minimisation,
-//! * VSIDS decision ordering with phase saving,
-//! * Luby-sequence restarts,
-//! * activity/LBD-based learnt-clause database reduction,
+//! * two-literal watching with blocker literals, plus a binary-clause fast
+//!   path that resolves two-literal clauses entirely from the watcher entry
+//!   (no arena load),
+//! * first-UIP conflict analysis with basic clause minimisation and
+//!   on-the-fly LBD refresh of reason clauses,
+//! * VSIDS decision ordering with phase saving, extended with best-trail
+//!   phase targeting reset on restarts,
+//! * Luby-sequence or glucose-style adaptive restarts (recent-LBD EMA vs.
+//!   the global mean, with trail-size restart blocking), selected by
+//!   [`Config::restart_mode`],
+//! * a three-tier learnt-clause database (core/mid/local by LBD) where only
+//!   the local tier is reduced and idle mid-tier clauses are demoted,
+//! * in-place garbage compaction of the clause arena instead of
+//!   rebuild-from-scratch reductions,
 //! * incremental solving under assumptions with UNSAT-core extraction.
 //!
 //! The solver is the decision engine behind every query made by the
 //! H-Houdini abduction oracle, where the assumptions are predicate indicator
 //! literals and the UNSAT core *is* the abduct.
 
-use crate::clause::{ClauseDb, ClauseRef};
+use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::heap::VarOrderHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::ProofSink;
+
+/// Truth value of `l` under `assigns`, as a free function so propagation can
+/// hold a mutable borrow of the clause arena at the same time.
+#[inline]
+fn val(assigns: &[LBool], l: Lit) -> LBool {
+    assigns[l.var().index()].of_lit(l)
+}
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,20 +46,37 @@ pub enum SolveResult {
     Unsat,
 }
 
+/// Restart strategy selector (see [`Config::restart_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Fixed-schedule restarts: the Luby sequence scaled by
+    /// [`Config::restart_base`].
+    Luby,
+    /// Glucose-style adaptive restarts: restart when the recent-LBD EMA
+    /// exceeds [`Config::restart_margin`] times the global LBD mean, with
+    /// trail-size-based restart blocking (a conflict reached with a trail
+    /// much deeper than average suppresses a pending restart, because the
+    /// current assignment looks close to a model).
+    Glucose,
+}
+
 /// Tunable solver parameters.
 ///
-/// The defaults mirror MiniSat's and are appropriate for the bit-blasted
-/// hardware queries issued by the rest of the workspace.
+/// The defaults select the modern heuristics (adaptive restarts, tiered
+/// learnt DB, best-phase targeting); [`Config::seed_baseline`] approximates
+/// the original fixed-schedule solver on the same arena backend, which is
+/// what the perf gates compare against.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Multiplicative decay applied to variable activities per conflict.
     pub var_decay: f64,
     /// Multiplicative decay applied to clause activities per conflict.
     pub clause_decay: f64,
-    /// Conflicts in the base restart interval (scaled by the Luby sequence).
+    /// Conflicts in the base restart interval (scaled by the Luby sequence;
+    /// used only in [`RestartMode::Luby`]).
     pub restart_base: u64,
-    /// Initial cap on learnt clauses before database reduction, as a
-    /// fraction of original clauses.
+    /// Initial cap on reducible (local-tier) learnt clauses before database
+    /// reduction, as a fraction of live clauses.
     pub learnt_size_factor: f64,
     /// Growth of the learnt-clause cap after each reduction.
     pub learnt_size_inc: f64,
@@ -52,6 +86,44 @@ pub struct Config {
     /// conflict counter, which is a pure function of the query history, so
     /// identical query sequences simplify identically (determinism).
     pub simplify_interval: u64,
+    /// Restart strategy.
+    pub restart_mode: RestartMode,
+    /// EMA smoothing factor for the recent-LBD average
+    /// ([`RestartMode::Glucose`] only).
+    pub restart_ema_alpha: f64,
+    /// Adaptive restart trigger: restart when `recent_lbd_ema >
+    /// restart_margin * global_lbd_mean`.
+    pub restart_margin: f64,
+    /// Minimum conflicts between adaptive restarts (also the warmup before
+    /// the LBD averages are trusted).
+    pub restart_min_interval: u64,
+    /// Restart blocking: a conflict whose trail is deeper than
+    /// `restart_block_margin * trail_ema` resets the recent-LBD EMA to the
+    /// global mean, deferring the restart.
+    pub restart_block_margin: f64,
+    /// Learnt clauses with LBD at or below this are core tier: kept forever.
+    pub core_lbd: u32,
+    /// Learnt clauses with LBD at or below this (and above
+    /// [`Config::core_lbd`]) start in the mid tier: they survive reductions
+    /// while used, and are demoted to the local tier after an idle round.
+    pub tier2_lbd: u32,
+    /// Track the deepest trail seen in the current solve and reset decision
+    /// phases to it on every restart (best-phase targeting).
+    pub save_best_phases: bool,
+    /// Fraction of eligible local-tier clauses deleted per reduction.
+    pub reduce_fraction: f64,
+    /// Garbage-compact the clause arena when at least this fraction of it
+    /// is dead words.
+    pub compact_garbage_frac: f64,
+    /// Keep two-literal clauses in the dedicated binary watch lists, where
+    /// the watcher's blocker *is* the implied literal and propagation never
+    /// loads the clause arena. When off, binaries are watched like any
+    /// other clause (the seed solver's behaviour).
+    pub inline_binaries: bool,
+    /// Check the watcher's blocker literal before loading a clause from the
+    /// arena during propagation. When off, every visited watcher pays the
+    /// arena load (the seed solver's behaviour).
+    pub use_blockers: bool,
 }
 
 impl Default for Config {
@@ -63,6 +135,39 @@ impl Default for Config {
             learnt_size_factor: 1.0 / 3.0,
             learnt_size_inc: 1.1,
             simplify_interval: 2000,
+            restart_mode: RestartMode::Glucose,
+            restart_ema_alpha: 1.0 / 32.0,
+            restart_margin: 1.25,
+            restart_min_interval: 50,
+            restart_block_margin: 1.4,
+            core_lbd: 2,
+            tier2_lbd: 6,
+            save_best_phases: true,
+            reduce_fraction: 0.5,
+            compact_garbage_frac: 0.25,
+            inline_binaries: true,
+            use_blockers: true,
+        }
+    }
+}
+
+impl Config {
+    /// The seed solver's behaviour on the arena backend: Luby restarts, no
+    /// best-phase targeting, a flat learnt DB (an empty mid tier, so
+    /// everything above glue is reducible by activity, as the pre-arena
+    /// reduce did), binaries watched like ordinary clauses, and no blocker
+    /// short-circuit. The perf-gate baseline: comparing `Config::default()`
+    /// against this measures this PR's raw-speed features on identical
+    /// workloads, with the shared flat-arena layout as a conservative floor
+    /// (the real seed paid an extra pointer chase per clause on top).
+    pub fn seed_baseline() -> Config {
+        Config {
+            restart_mode: RestartMode::Luby,
+            tier2_lbd: 2,
+            save_best_phases: false,
+            inline_binaries: false,
+            use_blockers: false,
+            ..Config::default()
         }
     }
 }
@@ -95,15 +200,33 @@ pub struct SolverStats {
     pub strengthened_lits: u64,
     /// Unit literals derived by failed-literal probing.
     pub probed_units: u64,
+    /// Learnt-database reductions performed.
+    pub reduces: u64,
+    /// Adaptive restarts suppressed by the trail-size blocking rule.
+    pub restart_blocks: u64,
+    /// In-place garbage compactions of the clause arena.
+    pub compactions: u64,
+    /// Cumulative wall-clock microseconds spent in database reduction
+    /// (including watcher scrubbing and compaction it triggers).
+    pub reduce_time_us: u64,
+    /// Current clause-arena size in bytes — a gauge refreshed after every
+    /// solve and reduction, not a monotone counter.
+    pub arena_bytes: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
     /// A literal of the clause other than the watched one; if it is already
-    /// true the clause needs no work (MiniSat's "blocker").
+    /// true the clause needs no work (MiniSat's "blocker"). For binary
+    /// clauses the blocker is the *whole* other half of the clause, so the
+    /// fast path never loads the arena.
     blocker: Lit,
 }
+
+/// EMA smoothing for the average trail size at conflicts (restart
+/// blocking). Fixed: the trail average only gates a heuristic.
+const TRAIL_EMA_ALPHA: f64 = 1.0 / 256.0;
 
 /// A CDCL SAT solver.
 ///
@@ -124,15 +247,25 @@ struct Watcher {
 pub struct Solver {
     pub(crate) config: Config,
     pub(crate) db: ClauseDb,
-    /// Watch lists indexed by literal code: `watches[p]` holds clauses that
-    /// must be inspected when `p` becomes true (they watch `!p`).
+    /// Watch lists for clauses of three or more literals, indexed by literal
+    /// code: `watches[p]` holds clauses that must be inspected when `p`
+    /// becomes true (they watch `!p`).
     watches: Vec<Vec<Watcher>>,
+    /// Watch lists for binary clauses, processed before `watches`: the
+    /// watcher's blocker is the implied literal, so the fast path needs no
+    /// arena access at all.
+    bin_watches: Vec<Vec<Watcher>>,
     pub(crate) assigns: Vec<LBool>,
     /// Saved phase per variable, used as the decision polarity.
     pub(crate) phase: Vec<bool>,
+    /// Phases captured at the deepest trail of the current solve; restarts
+    /// reset `phase` to this when [`Config::save_best_phases`] is on.
+    best_phase: Vec<bool>,
+    /// Trail depth at which `best_phase` was captured (per solve).
+    best_trail: usize,
     pub(crate) activity: Vec<f64>,
     var_inc: f64,
-    clause_inc: f64,
+    clause_inc: f32,
     pub(crate) order: VarOrderHeap,
     pub(crate) trail: Vec<Lit>,
     pub(crate) trail_lim: Vec<usize>,
@@ -166,6 +299,17 @@ pub struct Solver {
     pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
     /// Value of `stats.conflicts` at the last simplify run (cadence anchor).
     last_simplify_conflicts: u64,
+    /// Per-level stamps for O(clause) LBD computation: a level is counted
+    /// once per `lbd_stamp` generation.
+    lbd_levels: Vec<u64>,
+    lbd_stamp: u64,
+    /// Recent-LBD EMA (glucose restarts).
+    lbd_fast: f64,
+    /// Sum and count of all learnt-clause LBDs (global mean).
+    lbd_sum: f64,
+    lbd_count: u64,
+    /// EMA of the trail size at conflicts (restart blocking).
+    trail_ema: f64,
     /// Optional DRAT proof stream (see [`crate::proof::ProofSink`]).
     proof: Option<Box<dyn ProofSink>>,
     /// Whether the permanent empty clause has been logged (the formula
@@ -192,8 +336,11 @@ impl Solver {
             config,
             db: ClauseDb::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             phase: Vec::new(),
+            best_phase: Vec::new(),
+            best_trail: 0,
             activity: Vec::new(),
             var_inc: 1.0,
             clause_inc: 1.0,
@@ -214,6 +361,12 @@ impl Solver {
             eliminated: Vec::new(),
             elim_stack: Vec::new(),
             last_simplify_conflicts: 0,
+            lbd_levels: vec![0],
+            lbd_stamp: 0,
+            lbd_fast: 0.0,
+            lbd_sum: 0.0,
+            lbd_count: 0,
+            trail_ema: 0.0,
             proof: None,
             proof_done: false,
         }
@@ -249,28 +402,35 @@ impl Solver {
         self.proof.is_some()
     }
 
-    /// Snapshot of the current formula as seen by a proof checker: the
-    /// level-0 implied units followed by every live non-learnt clause.
+    /// Visits the current formula as seen by a proof checker: the level-0
+    /// implied units (as one-literal slices) followed by every live
+    /// non-learnt clause, borrowed straight from the clause arena — no
+    /// per-clause allocation.
     ///
     /// Taken right after clause loading (before any solve call) this is the
     /// input formula a DRAT stream from this solver refutes. Must be called
     /// at decision level 0.
-    pub fn formula_clauses(&self) -> Vec<Vec<Lit>> {
+    pub fn visit_formula_clauses<F: FnMut(&[Lit])>(&self, mut visit: F) {
         debug_assert_eq!(self.decision_level(), 0);
-        let mut out = Vec::new();
         let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
         for &l in &self.trail[..bound] {
-            out.push(vec![l]);
+            visit(std::slice::from_ref(&l));
         }
         for cref in self.db.live_refs() {
-            let c = self.db.get(cref);
-            if !c.learnt {
-                out.push(c.lits.clone());
+            if !self.db.is_learnt(cref) {
+                visit(self.db.lits(cref));
             }
         }
         if let Some(c) = &self.input_conflict {
-            out.push(c.clone());
+            visit(c);
         }
+    }
+
+    /// [`Solver::visit_formula_clauses`] collected into owned clauses, for
+    /// callers that need to keep the snapshot.
+    pub fn formula_clauses(&self) -> Vec<Vec<Lit>> {
+        let mut out = Vec::new();
+        self.visit_formula_clauses(|c| out.push(c.to_vec()));
         out
     }
 
@@ -301,16 +461,14 @@ impl Solver {
         }
     }
 
-    /// Deletes `cref` from the clause database, logging the deletion. The
-    /// literals are captured first because [`ClauseDb::delete`] clears them.
+    /// Deletes `cref` from the clause database, logging the deletion.
+    /// Deletion in the arena is a lazy mark, so the literals can be streamed
+    /// to the proof sink directly from the (still readable) slot — no clone.
     pub(crate) fn delete_clause_logged(&mut self, cref: ClauseRef) {
-        if self.proof.is_some() {
-            let lits = self.db.get(cref).lits.clone();
-            self.db.delete(cref);
-            self.proof_delete(&lits);
-        } else {
-            self.db.delete(cref);
+        if let Some(sink) = self.proof.as_mut() {
+            sink.delete_clause(self.db.lits(cref));
         }
+        self.db.delete(cref);
     }
 
     /// Number of variables created so far.
@@ -318,9 +476,9 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of clauses currently stored (including learnt ones).
+    /// Number of live clauses currently stored (including learnt ones).
     pub fn num_clauses(&self) -> usize {
-        self.db.len()
+        self.db.num_clauses()
     }
 
     /// Cumulative statistics.
@@ -333,6 +491,7 @@ impl Solver {
         let v = Var::from_index(self.assigns.len());
         self.assigns.push(LBool::Undef);
         self.phase.push(false);
+        self.best_phase.push(false);
         self.activity.push(0.0);
         self.reason.push(None);
         self.level.push(0);
@@ -341,6 +500,9 @@ impl Solver {
         self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.lbd_levels.push(0);
         self.order.grow_to(self.assigns.len());
         self.order.insert(v, &self.activity);
         v
@@ -425,7 +587,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.alloc(filtered, false, 0);
+                let cref = self.db.alloc(&filtered, false, 0, Tier::Core);
                 self.attach(cref);
                 true
             }
@@ -449,8 +611,11 @@ impl Solver {
             self.stats.propagations,
             self.stats.conflicts,
             self.stats.restarts,
+            self.stats.reduces,
+            self.stats.arena_bytes,
         );
         let result = self.solve_with_assumptions_inner(assumptions);
+        self.stats.arena_bytes = (self.db.arena_words() * 4) as u64;
         if hh_trace::enabled() {
             hh_trace::counter!(
                 "sat",
@@ -459,6 +624,14 @@ impl Solver {
             );
             hh_trace::counter!("sat", "sat.conflicts", self.stats.conflicts - before.1);
             hh_trace::counter!("sat", "sat.restarts", self.stats.restarts - before.2);
+            hh_trace::counter!("sat", "sat.reduce", self.stats.reduces - before.3);
+            // Arena size is a gauge: emit the signed delta so the trace
+            // total tracks the live arena footprint across solves.
+            hh_trace::counter!(
+                "sat",
+                "sat.arena_bytes",
+                self.stats.arena_bytes as i64 - before.4 as i64
+            );
         }
         result
     }
@@ -489,7 +662,13 @@ impl Solver {
         {
             return SolveResult::Unsat;
         }
-        self.max_learnts = (self.db.len() as f64) * self.config.learnt_size_factor + 1000.0;
+        self.max_learnts = (self.db.num_clauses() as f64) * self.config.learnt_size_factor + 1000.0;
+        if self.config.save_best_phases {
+            // Seed the best-phase snapshot from the saved phases so a restart
+            // before any record never installs stale polarities.
+            self.best_phase.clone_from(&self.phase);
+            self.best_trail = 0;
+        }
         let mut restarts: u64 = 0;
         loop {
             let budget = luby(restarts) * self.config.restart_base;
@@ -518,6 +697,11 @@ impl Solver {
                     // Restart.
                     restarts += 1;
                     self.stats.restarts += 1;
+                    if self.config.save_best_phases && self.best_trail > 0 {
+                        // Best-phase targeting: restart the search aimed at
+                        // the deepest partial assignment seen so far.
+                        self.phase.clone_from(&self.best_phase);
+                    }
                 }
             }
         }
@@ -568,27 +752,40 @@ impl Solver {
     /// `solve_with_assumptions` call backtracks to level 0 before returning).
     /// The export order — trail units first, then learnt clauses in
     /// allocation order — is deterministic for a deterministic query history.
-    pub fn export_learnt<F: FnMut(Var) -> bool>(&self, mut keep: F) -> Vec<Vec<Lit>> {
-        debug_assert_eq!(self.decision_level(), 0);
+    pub fn export_learnt<F: FnMut(Var) -> bool>(&self, keep: F) -> Vec<Vec<Lit>> {
         let mut out = Vec::new();
+        self.export_learnt_with(keep, |c| out.push(c.to_vec()));
+        out
+    }
+
+    /// Visit-callback form of [`Solver::export_learnt`]: each exported
+    /// clause is handed to `emit` as a slice borrowed from the trail or the
+    /// clause arena, so callers that only iterate (clause pools, filters)
+    /// pay no per-clause allocation. Emission order is identical to
+    /// `export_learnt`.
+    pub fn export_learnt_with<K, F>(&self, mut keep: K, mut emit: F)
+    where
+        K: FnMut(Var) -> bool,
+        F: FnMut(&[Lit]),
+    {
+        debug_assert_eq!(self.decision_level(), 0);
         // Level-0 trail prefix: units the solver has proved outright.
         let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
-        for &l in &self.trail[..bound] {
+        for l in &self.trail[..bound] {
             let v = l.var();
             if keep(v) && !self.eliminated[v.index()] {
-                out.push(vec![l]);
+                emit(std::slice::from_ref(l));
             }
         }
         for cref in self.db.learnt_refs() {
-            let lits = &self.db.get(cref).lits;
+            let lits = self.db.lits(cref);
             if lits
                 .iter()
                 .all(|l| keep(l.var()) && !self.eliminated[l.var().index()])
             {
-                out.push(lits.clone());
+                emit(lits);
             }
         }
-        out
     }
 
     /// Imports clauses previously produced by [`Solver::export_learnt`] on an
@@ -619,13 +816,13 @@ impl Solver {
             if cl.iter().any(|l| self.eliminated[l.var().index()]) {
                 continue;
             }
-            let before = self.db.len() + self.trail.len();
+            let before = self.db.num_clauses() + self.trail.len();
             if !self.add_clause(cl) {
                 // An implied clause can still expose unsatisfiability that
                 // this solver simply had not derived yet; record it and stop.
                 return added;
             }
-            if self.db.len() + self.trail.len() > before {
+            if self.db.num_clauses() + self.trail.len() > before {
                 added += 1;
             }
         }
@@ -719,6 +916,14 @@ impl Solver {
             let v = self.trail[i].var();
             self.reason[v.index()] = None;
         }
+        // Inprocessing deletes and shrinks many clauses; compact the arena
+        // while the watch lists are about to be rebuilt anyway (reasons were
+        // just cleared, so nothing else holds a ClauseRef).
+        self.db.sweep_lists();
+        if self.db.garbage_frac() >= self.config.compact_garbage_frac {
+            self.clear_watches();
+            self.compact_arena();
+        }
         self.rebuild_watches();
         self.qhead = self.trail.len();
         true
@@ -728,8 +933,9 @@ impl Solver {
     // Search
     // ------------------------------------------------------------------
 
-    /// Runs CDCL until `conflict_budget` conflicts have occurred (returning
-    /// `None` to signal a restart) or a definitive result is reached.
+    /// Runs CDCL until the restart policy fires (returning `None` to signal
+    /// a restart) or a definitive result is reached. `conflict_budget` is
+    /// the Luby budget; glucose mode ignores it and watches the LBD EMAs.
     fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
         let mut conflicts: u64 = 0;
         loop {
@@ -741,16 +947,39 @@ impl Solver {
                     self.proof_empty();
                     return Some(SolveResult::Unsat);
                 }
+                let trail_depth = self.trail.len() as f64;
                 let (learnt, backtrack_level) = self.analyze(confl);
                 self.cancel_until(backtrack_level);
-                self.record_learnt(learnt);
+                let lbd = self.record_learnt(learnt);
                 self.decay_activities();
+                // Restart bookkeeping: fold this conflict's LBD into the
+                // recent EMA and the global mean, and its (pre-backtrack)
+                // trail depth into the blocking EMA.
+                self.lbd_count += 1;
+                self.lbd_sum += lbd as f64;
+                self.lbd_fast += (lbd as f64 - self.lbd_fast) * self.config.restart_ema_alpha;
+                self.trail_ema += (trail_depth - self.trail_ema) * TRAIL_EMA_ALPHA;
+                if self.config.restart_mode == RestartMode::Glucose
+                    && self.lbd_count >= self.config.restart_min_interval
+                    && trail_depth > self.config.restart_block_margin * self.trail_ema
+                    && self.restart_pending(conflicts)
+                {
+                    // Blocking: the assignment is unusually deep, so a
+                    // restart would throw away likely progress towards a
+                    // model. Pull the EMA back to the mean to defer it.
+                    self.lbd_fast = self.lbd_sum / self.lbd_count as f64;
+                    self.stats.restart_blocks += 1;
+                }
             } else {
-                if conflicts >= conflict_budget {
+                let restart = match self.config.restart_mode {
+                    RestartMode::Luby => conflicts >= conflict_budget,
+                    RestartMode::Glucose => self.restart_pending(conflicts),
+                };
+                if restart {
                     self.cancel_until(0);
                     return None;
                 }
-                if self.db.num_learnts as f64 >= self.max_learnts {
+                if self.db.num_local() as f64 >= self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= self.config.learnt_size_inc;
                 }
@@ -792,6 +1021,15 @@ impl Solver {
         }
     }
 
+    /// Whether the glucose restart condition currently holds: past the
+    /// minimum interval, with the recent-LBD EMA above the margin over the
+    /// global mean (high recent glue = the search has gone stale).
+    fn restart_pending(&self, conflicts_this_round: u64) -> bool {
+        conflicts_this_round >= self.config.restart_min_interval
+            && self.lbd_count > 0
+            && self.lbd_fast > self.config.restart_margin * (self.lbd_sum / self.lbd_count as f64)
+    }
+
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         loop {
             let v = self.order.pop_max(&self.activity)?;
@@ -806,80 +1044,111 @@ impl Solver {
     // ------------------------------------------------------------------
 
     pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
-        let mut conflict = None;
+        let use_blockers = self.config.use_blockers;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let pc = p.code();
+
+            // Binary fast path: the watcher's blocker *is* the implied
+            // literal, so every two-literal clause is resolved without
+            // touching the clause arena. Enqueueing never mutates the list
+            // being walked, so plain index iteration is safe.
+            let mut bi = 0;
+            while bi < self.bin_watches[pc].len() {
+                let w = self.bin_watches[pc][bi];
+                bi += 1;
+                match val(&self.assigns, w.blocker) {
+                    LBool::True => {}
+                    LBool::Undef => self.unchecked_enqueue(w.blocker, Some(w.cref)),
+                    LBool::False => {
+                        self.qhead = self.trail.len();
+                        return Some(w.cref);
+                    }
+                }
+            }
+
+            let mut ws = std::mem::take(&mut self.watches[pc]);
+            let mut conflict = None;
             let mut i = 0;
             let mut j = 0;
             'watchers: while i < ws.len() {
                 let w = ws[i];
                 i += 1;
-                if self.lit_value(w.blocker) == LBool::True {
+                // Blocker check before any arena load: if some other
+                // literal of the clause is already true, keep the watcher.
+                if use_blockers && val(&self.assigns, w.blocker) == LBool::True {
                     ws[j] = w;
                     j += 1;
                     continue;
                 }
                 let false_lit = !p;
+                let cref = w.cref;
+                // One arena dereference for the whole clause body.
+                let lits = self.db.lits_mut(cref);
                 // Normalise so the falsified watched literal is at index 1.
-                {
-                    let c = self.db.get_mut(w.cref);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
                 }
-                let first = self.db.get(w.cref).lits[0];
-                if first != w.blocker && self.lit_value(first) == LBool::True {
+                debug_assert_eq!(lits[1], false_lit);
+                let first = lits[0];
+                if first != w.blocker && val(&self.assigns, first) == LBool::True {
                     ws[j] = Watcher {
-                        cref: w.cref,
+                        cref,
                         blocker: first,
                     };
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.db.get(w.cref).len();
-                for k in 2..len {
-                    let lk = self.db.get(w.cref).lits[k];
-                    if self.lit_value(lk) != LBool::False {
-                        let c = self.db.get_mut(w.cref);
-                        c.lits.swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher {
-                            cref: w.cref,
-                            blocker: first,
-                        });
-                        continue 'watchers;
+                let mut new_watch = None;
+                for k in 2..lits.len() {
+                    if val(&self.assigns, lits[k]) != LBool::False {
+                        lits.swap(1, k);
+                        new_watch = Some(lits[1]);
+                        break;
                     }
                 }
-                // Clause is unit or conflicting under the current assignment.
+                if let Some(nw) = new_watch {
+                    self.watches[(!nw).code()].push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
+                    continue 'watchers;
+                }
+                // Clause is satisfied by `first`, unit, or conflicting.
                 ws[j] = Watcher {
-                    cref: w.cref,
+                    cref,
                     blocker: first,
                 };
                 j += 1;
-                if self.lit_value(first) == LBool::False {
-                    conflict = Some(w.cref);
-                    self.qhead = self.trail.len();
-                    // Copy remaining watchers back.
-                    while i < ws.len() {
-                        ws[j] = ws[i];
-                        j += 1;
-                        i += 1;
+                match val(&self.assigns, first) {
+                    // Reachable only with `use_blockers` off (the pre-load
+                    // check would have kept the watcher): nothing to do,
+                    // and re-enqueueing a true literal would grow the trail
+                    // forever.
+                    LBool::True => {}
+                    LBool::Undef => self.unchecked_enqueue(first, Some(cref)),
+                    LBool::False => {
+                        conflict = Some(cref);
+                        self.qhead = self.trail.len();
+                        // Copy remaining watchers back.
+                        while i < ws.len() {
+                            ws[j] = ws[i];
+                            j += 1;
+                            i += 1;
+                        }
                     }
-                } else {
-                    self.unchecked_enqueue(first, Some(w.cref));
                 }
             }
             ws.truncate(j);
-            self.watches[p.code()] = ws;
+            self.watches[pc] = ws;
             if conflict.is_some() {
-                break;
+                return conflict;
             }
         }
-        conflict
+        None
     }
 
     #[inline]
@@ -904,6 +1173,14 @@ impl Solver {
     pub(crate) fn cancel_until(&mut self, target_level: u32) {
         if self.decision_level() <= target_level {
             return;
+        }
+        if self.config.save_best_phases && self.trail.len() > self.best_trail {
+            // Deepest trail of this solve so far: snapshot its polarities
+            // as the best-phase target before unwinding it.
+            self.best_trail = self.trail.len();
+            for &p in &self.trail {
+                self.best_phase[p.var().index()] = p.is_positive();
+            }
         }
         let bound = self.trail_lim[target_level as usize];
         for i in (bound..self.trail.len()).rev() {
@@ -933,10 +1210,17 @@ impl Solver {
         let mut confl = confl;
         loop {
             {
-                self.bump_clause(confl);
-                let start = usize::from(p.is_some());
-                let lits: Vec<Lit> = self.db.get(confl).lits[start..].to_vec();
-                for q in lits {
+                self.bump_reason_clause(confl);
+                // Skip the resolved-on variable rather than a fixed index:
+                // binary reasons keep their arena order, so the implied
+                // literal is not guaranteed to sit at index 0.
+                for k in 0..self.db.size(confl) {
+                    let q = self.db.lits(confl)[k];
+                    if let Some(pl) = p {
+                        if q.var() == pl.var() {
+                            continue;
+                        }
+                    }
                     let v = q.var().index();
                     if !self.seen[v] && self.level[v] > 0 {
                         self.bump_var(q.var());
@@ -1013,7 +1297,7 @@ impl Solver {
     fn literal_redundant(&self, l: Lit) -> bool {
         match self.reason[l.var().index()] {
             None => false,
-            Some(r) => self.db.get(r).lits.iter().all(|&q| {
+            Some(r) => self.db.lits(r).iter().all(|&q| {
                 q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
             }),
         }
@@ -1042,8 +1326,8 @@ impl Solver {
                     self.core.push(x);
                 }
                 Some(r) => {
-                    let lits: Vec<Lit> = self.db.get(r).lits.clone();
-                    for q in lits {
+                    for k in 0..self.db.size(r) {
+                        let q = self.db.lits(r)[k];
                         if q.var() != x.var() && self.level[q.var().index()] > 0 {
                             self.seen[q.var().index()] = true;
                         }
@@ -1057,42 +1341,60 @@ impl Solver {
         self.core.dedup();
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    /// Installs a learnt clause and returns its LBD (1 for units).
+    fn record_learnt(&mut self, learnt: Vec<Lit>) -> u32 {
         match learnt.len() {
             0 => {
                 self.ok = false;
                 self.proof_empty();
+                0
             }
             1 => {
                 self.proof_add(&learnt);
                 self.unchecked_enqueue(learnt[0], None);
+                1
             }
             _ => {
                 self.proof_add(&learnt);
                 let lbd = self.compute_lbd(&learnt);
+                let tier = self.tier_for_lbd(lbd);
                 let asserting = learnt[0];
-                let cref = self.db.alloc(learnt, true, lbd);
+                let cref = self.db.alloc(&learnt, true, lbd, tier);
                 self.attach(cref);
-                self.bump_clause(cref);
+                self.bump_clause_activity(cref);
+                self.db.set_used(cref);
                 self.unchecked_enqueue(asserting, Some(cref));
+                lbd
             }
         }
     }
 
-    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+    fn tier_for_lbd(&self, lbd: u32) -> Tier {
+        if lbd <= self.config.core_lbd {
+            Tier::Core
+        } else if lbd <= self.config.tier2_lbd {
+            Tier::Mid
+        } else {
+            Tier::Local
+        }
+    }
+
+    /// Number of distinct decision levels among `lits`, via per-level
+    /// stamps: O(clause length), no sort, no allocation.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        lbd_of(&self.level, &mut self.lbd_levels, &mut self.lbd_stamp, lits)
     }
 
     fn attach(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
-            let c = self.db.get(cref);
-            (c.lits[0], c.lits[1])
-        };
-        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        let lits = self.db.lits(cref);
+        let (l0, l1, binary) = (lits[0], lits[1], lits.len() == 2);
+        if binary && self.config.inline_binaries {
+            self.bin_watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.bin_watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        } else {
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1110,72 +1412,294 @@ impl Solver {
         self.order.decrease_key(v, &self.activity);
     }
 
-    fn bump_clause(&mut self, cref: ClauseRef) {
-        let inc = self.clause_inc;
-        let c = self.db.get_mut(cref);
-        if !c.learnt {
+    fn bump_clause_activity(&mut self, cref: ClauseRef) {
+        if !self.db.is_learnt(cref) {
             return;
         }
-        c.activity += inc;
-        if c.activity > 1e20 {
-            let refs: Vec<ClauseRef> = self.db.learnt_refs();
-            for r in refs {
-                self.db.get_mut(r).activity *= 1e-20;
-            }
+        let a = self.db.activity(cref) + self.clause_inc;
+        self.db.set_activity(cref, a);
+        if a > 1e20 {
+            self.db.rescale_activities(1e-20);
             self.clause_inc *= 1e-20;
+        }
+    }
+
+    /// Bookkeeping for a learnt clause that served as an antecedent during
+    /// conflict analysis: bump its activity, mark it used (protecting it
+    /// from the next reduction round), and refresh its LBD — clauses whose
+    /// glue improves get promoted toward longer-lived tiers.
+    fn bump_reason_clause(&mut self, cref: ClauseRef) {
+        if !self.db.is_learnt(cref) {
+            return;
+        }
+        self.bump_clause_activity(cref);
+        self.db.set_used(cref);
+        let old = self.db.lbd(cref);
+        if old > self.config.core_lbd {
+            let new = lbd_of(
+                &self.level,
+                &mut self.lbd_levels,
+                &mut self.lbd_stamp,
+                self.db.lits(cref),
+            );
+            if new < old {
+                self.db.set_lbd(cref, new);
+                if new <= self.config.core_lbd {
+                    self.db.set_tier(cref, Tier::Core);
+                } else if new <= self.config.tier2_lbd && self.db.tier(cref) == Tier::Local {
+                    self.db.set_tier(cref, Tier::Mid);
+                }
+            }
         }
     }
 
     fn decay_activities(&mut self) {
         self.var_inc /= self.config.var_decay;
-        self.clause_inc /= self.config.clause_decay;
+        self.clause_inc /= self.config.clause_decay as f32;
     }
 
-    /// Deletes roughly half of the learnt clauses, preferring inactive,
-    /// high-LBD ones. Clauses that are the reason of a current assignment
-    /// ("locked") and glue clauses (LBD ≤ 2) are kept.
+    /// Reduces the local tier of the learnt database: deletes the worst
+    /// `reduce_fraction` of local-tier clauses (high LBD first, low activity
+    /// first among equals), skipping locked and recently-used ones. Mid-tier
+    /// clauses that went unused since the last reduction are demoted to
+    /// local; used bits are cleared so protection lasts exactly one round.
+    /// Core-tier clauses are never touched. Compacts the arena when enough
+    /// garbage has accumulated.
     fn reduce_db(&mut self) {
-        let mut learnts = self.db.learnt_refs();
-        learnts.sort_by(|&a, &b| {
-            let ca = self.db.get(a);
-            let cb = self.db.get(b);
-            ca.activity
-                .partial_cmp(&cb.activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+        let start = std::time::Instant::now();
+        self.stats.reduces += 1;
+        let learnts = self.db.learnt_refs();
+        let mut cands: Vec<ClauseRef> = learnts
+            .iter()
+            .copied()
+            .filter(|&c| {
+                self.db.tier(c) == Tier::Local && !self.db.is_used(c) && !self.is_locked(c)
+            })
+            .collect();
+        cands.sort_by(|&a, &b| {
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then_with(|| {
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
         });
-        let target = learnts.len() / 2;
-        let mut deleted = 0usize;
-        for &cref in &learnts {
-            if deleted >= target {
-                break;
-            }
-            let c = self.db.get(cref);
-            if c.lbd <= 2 || self.is_locked(cref) {
-                continue;
-            }
+        let target = (cands.len() as f64 * self.config.reduce_fraction) as usize;
+        for &cref in cands.iter().take(target) {
             self.delete_clause_logged(cref);
-            deleted += 1;
             self.stats.deleted_clauses += 1;
         }
-        if deleted > 0 {
-            self.rebuild_watches();
+        // Demotion pass: mid-tier clauses that were not used as reasons since
+        // the previous reduction slide down to local; every surviving clause
+        // starts the next round unprotected.
+        for &cref in &learnts {
+            if self.db.is_deleted(cref) {
+                continue;
+            }
+            if self.db.tier(cref) == Tier::Mid && !self.db.is_used(cref) {
+                self.db.set_tier(cref, Tier::Local);
+            }
+            self.db.clear_used(cref);
         }
+        if target > 0 {
+            self.db.sweep_lists();
+            self.scrub_watches();
+            if self.db.garbage_frac() >= self.config.compact_garbage_frac {
+                self.clear_watches();
+                self.compact_arena();
+                self.rebuild_watches();
+            }
+        }
+        self.stats.reduce_time_us += start.elapsed().as_micros() as u64;
     }
 
     fn is_locked(&self, cref: ClauseRef) -> bool {
-        let first = self.db.get(cref).lits[0];
+        let first = self.db.lits(cref)[0];
         self.reason[first.var().index()] == Some(cref) && self.lit_value(first) == LBool::True
     }
 
-    pub(crate) fn rebuild_watches(&mut self) {
+    fn clear_watches(&mut self) {
         for w in &mut self.watches {
             w.clear();
         }
+        for w in &mut self.bin_watches {
+            w.clear();
+        }
+    }
+
+    /// Drops watchers that point at deleted clauses, leaving live watchers
+    /// in place. Cheaper than a full rebuild after a reduction round.
+    fn scrub_watches(&mut self) {
+        let db = &self.db;
+        for w in &mut self.watches {
+            w.retain(|x| !db.is_deleted(x.cref));
+        }
+        for w in &mut self.bin_watches {
+            w.retain(|x| !db.is_deleted(x.cref));
+        }
+    }
+
+    /// Compacts the clause arena in place and remaps every stored
+    /// [`ClauseRef`] (reasons and watchers) through the move table.
+    fn compact_arena(&mut self) {
+        let remap = self.db.compact();
+        self.stats.compactions += 1;
+        for cref in self.reason.iter_mut().flatten() {
+            *cref = ClauseDb::remap_ref(&remap, *cref);
+        }
+        for w in &mut self.watches {
+            for x in w.iter_mut() {
+                x.cref = ClauseDb::remap_ref(&remap, x.cref);
+            }
+        }
+        for w in &mut self.bin_watches {
+            for x in w.iter_mut() {
+                x.cref = ClauseDb::remap_ref(&remap, x.cref);
+            }
+        }
+    }
+
+    pub(crate) fn rebuild_watches(&mut self) {
+        self.clear_watches();
         let refs: Vec<ClauseRef> = self.db.live_refs().collect();
         for cref in refs {
             self.attach(cref);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Debug hooks (test-only entry points into internal machinery)
+    // ------------------------------------------------------------------
+
+    /// Forces a learnt-database reduction round, regardless of triggers.
+    /// Test hook; not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_force_reduce(&mut self) {
+        self.reduce_db();
+    }
+
+    /// Forces an arena compaction (sweep, scrub, compact, rebuild).
+    /// Test hook; not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_force_compact(&mut self) {
+        self.db.sweep_lists();
+        self.clear_watches();
+        self.compact_arena();
+        self.rebuild_watches();
+    }
+
+    /// Fraction of the arena occupied by dead words. Test hook.
+    #[doc(hidden)]
+    pub fn debug_garbage_frac(&self) -> f64 {
+        self.db.garbage_frac()
+    }
+
+    /// Number of live learnt clauses. Test hook.
+    #[doc(hidden)]
+    pub fn debug_num_learnts(&self) -> usize {
+        self.db.num_learnts()
+    }
+
+    /// Literals of every live learnt clause together with its tier
+    /// (0 = core, 1 = mid, 2 = local), in learn order. Test hook.
+    #[doc(hidden)]
+    pub fn debug_learnts_with_tiers(&self) -> Vec<(Vec<Lit>, u8)> {
+        self.db
+            .learnt_refs()
+            .into_iter()
+            .map(|c| (self.db.lits(c).to_vec(), self.db.tier(c) as u8))
+            .collect()
+    }
+
+    /// Literals of every clause currently serving as the reason for an
+    /// assignment on the trail. Test hook.
+    #[doc(hidden)]
+    pub fn debug_reason_clauses(&self) -> Vec<Vec<Lit>> {
+        self.trail
+            .iter()
+            .filter_map(|p| self.reason[p.var().index()])
+            .map(|c| self.db.lits(c).to_vec())
+            .collect()
+    }
+
+    /// Checks the two-watched-literal invariant: every live clause of size
+    /// ≥ 2 is watched exactly twice, on the complements of two of its own
+    /// literals (binary clauses in the binary lists when
+    /// [`Config::inline_binaries`] is on, longer clauses in the main
+    /// lists), and no watcher points at a deleted clause. Test hook.
+    #[doc(hidden)]
+    pub fn debug_check_watches(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut count: HashMap<u32, Vec<Lit>> = HashMap::new();
+        for (code, list) in self.watches.iter().enumerate() {
+            for w in list {
+                if self.db.is_deleted(w.cref) {
+                    return Err(format!("watcher on deleted clause {:?}", w.cref));
+                }
+                if self.config.inline_binaries && self.db.size(w.cref) == 2 {
+                    return Err(format!("binary clause {:?} in long watch list", w.cref));
+                }
+                count
+                    .entry(w.cref.0)
+                    .or_default()
+                    .push(!Lit::from_code(code));
+            }
+        }
+        for (code, list) in self.bin_watches.iter().enumerate() {
+            for w in list {
+                if self.db.is_deleted(w.cref) {
+                    return Err(format!("bin watcher on deleted clause {:?}", w.cref));
+                }
+                if self.db.size(w.cref) != 2 {
+                    return Err(format!(
+                        "non-binary clause {:?} in binary watch list",
+                        w.cref
+                    ));
+                }
+                count
+                    .entry(w.cref.0)
+                    .or_default()
+                    .push(!Lit::from_code(code));
+            }
+        }
+        for cref in self.db.live_refs() {
+            let lits = self.db.lits(cref);
+            let watched = count.get(&cref.0).cloned().unwrap_or_default();
+            if watched.len() != 2 {
+                return Err(format!(
+                    "clause {:?} watched {} times (expected 2)",
+                    cref,
+                    watched.len()
+                ));
+            }
+            for w in &watched {
+                if !lits.contains(w) {
+                    return Err(format!(
+                        "clause {:?} watched on {} which it does not contain",
+                        cref, w
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stamp-based LBD: counts distinct decision levels among `lits` in one
+/// pass using a per-level generation table. Free function over disjoint
+/// solver fields so callers can hold an arena borrow at the same time.
+fn lbd_of(level: &[u32], lbd_levels: &mut [u64], lbd_stamp: &mut u64, lits: &[Lit]) -> u32 {
+    *lbd_stamp += 1;
+    let stamp = *lbd_stamp;
+    let mut lbd = 0u32;
+    for l in lits {
+        let lvl = level[l.var().index()] as usize;
+        if lbd_levels[lvl] != stamp {
+            lbd_levels[lvl] = stamp;
+            lbd += 1;
+        }
+    }
+    lbd
 }
 
 /// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...

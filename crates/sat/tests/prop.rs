@@ -231,6 +231,122 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every heuristic/layout knob in `Config::seed_baseline()` (Luby
+    /// restarts, flat DB, no best phases, binaries in the long watch
+    /// lists, no blocker checks) is answer-preserving: both configs agree
+    /// with brute force under arbitrary assumption sets. Regression test
+    /// for the blocker-off propagation tail, which once re-enqueued
+    /// already-true literals forever.
+    #[test]
+    fn seed_baseline_config_agrees_with_brute_force(
+        clauses in arb_cnf(7, 30),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+    ) {
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let assumed: Vec<(usize, bool)> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| (i, (polarity >> i) & 1 == 1))
+            .collect();
+        let mut with_units = clauses.clone();
+        for &(v, pos) in &assumed {
+            with_units.push(vec![(v, pos)]);
+        }
+        let expected = brute_force_sat(7, &with_units);
+        let assumptions: Vec<Lit> = assumed.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+
+        let mut s = hh_sat::Solver::with_config(hh_sat::Config::seed_baseline());
+        for _ in 0..7 {
+            s.new_var();
+        }
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+            s.add_clause(&lits);
+        }
+        prop_assert_eq!(s.solve_with_assumptions(&assumptions) == SolveResult::Sat, expected);
+        prop_assert_eq!(s.debug_check_watches(), Ok(()));
+    }
+
+    /// Arena garbage compaction is invisible: forcing a full sweep +
+    /// compaction between incremental queries never changes an answer, the
+    /// two-watched-literal invariant holds after every compaction, and SAT
+    /// models still satisfy every original clause.
+    #[test]
+    fn compaction_preserves_models_and_watches(
+        clauses in arb_cnf(8, 40),
+        churn in proptest::collection::vec(
+            proptest::collection::vec((0..8usize, any::<bool>()), 0..=4), 1..4),
+    ) {
+        let expected = brute_force_sat(8, &clauses);
+        let vars: Vec<Var> = (0..8).map(Var::from_index).collect();
+        let mut s = build_solver(8, &clauses);
+        for set in &churn {
+            let assum: Vec<Lit> = set.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+            let _ = s.solve_with_assumptions(&assum);
+            s.debug_force_compact();
+            prop_assert_eq!(s.debug_check_watches(), Ok(()));
+        }
+        prop_assert_eq!(s.solve() == SolveResult::Sat, expected);
+        if expected {
+            for clause in &clauses {
+                let sat = clause.iter().any(|&(v, pos)| s.model_value(vars[v].lit(pos)));
+                prop_assert!(sat, "post-compaction model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    /// Tiered database reduction never deletes a clause that is currently a
+    /// reason on the trail, and never deletes a core-tier learnt — and the
+    /// solver still answers correctly afterwards.
+    #[test]
+    fn reduce_keeps_core_and_reason_clauses(
+        clauses in arb_cnf(8, 40),
+        churn in proptest::collection::vec(
+            proptest::collection::vec((0..8usize, any::<bool>()), 0..=4), 1..4),
+    ) {
+        let expected = brute_force_sat(8, &clauses);
+        let vars: Vec<Var> = (0..8).map(Var::from_index).collect();
+        let mut s = build_solver(8, &clauses);
+        for set in &churn {
+            let assum: Vec<Lit> = set.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+            let _ = s.solve_with_assumptions(&assum);
+        }
+        // Clause bodies as sorted literal sets: propagation reorders
+        // literals in place, so identity is up to permutation.
+        let canon = |c: &[Lit]| {
+            let mut v = c.to_vec();
+            v.sort();
+            v
+        };
+        let core_before: Vec<Vec<Lit>> = s
+            .debug_learnts_with_tiers()
+            .iter()
+            .filter(|(_, tier)| *tier == 0)
+            .map(|(c, _)| canon(c))
+            .collect();
+        let reasons_before: Vec<Vec<Lit>> =
+            s.debug_reason_clauses().iter().map(|c| canon(c)).collect();
+        s.debug_force_reduce();
+        prop_assert_eq!(s.debug_check_watches(), Ok(()));
+        let mut live: Vec<Vec<Lit>> = s
+            .debug_learnts_with_tiers()
+            .iter()
+            .map(|(c, _)| canon(c))
+            .collect();
+        s.visit_formula_clauses(|c| live.push(canon(c)));
+        for c in &core_before {
+            prop_assert!(live.contains(c), "reduce dropped core-tier clause {:?}", c);
+        }
+        for c in &reasons_before {
+            prop_assert!(live.contains(c), "reduce dropped a reason clause {:?}", c);
+        }
+        prop_assert_eq!(s.solve() == SolveResult::Sat, expected);
+    }
+}
+
 #[test]
 fn dimacs_roundtrip_through_solver() {
     let text = "p cnf 4 4\n1 2 0\n-1 3 0\n-2 4 0\n-3 -4 0\n";

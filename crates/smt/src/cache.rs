@@ -206,9 +206,30 @@ impl EncodeCache {
     /// Adds exported learnt clauses to the pool for `key`; returns how many
     /// were actually absorbed (dedup + bounds).
     pub fn export_to_pool(&self, key: &[u64], clauses: &[Vec<Lit>]) -> usize {
+        self.export_to_pool_with(key, |absorb| {
+            for c in clauses {
+                absorb(c);
+            }
+        })
+    }
+
+    /// Visitor form of [`EncodeCache::export_to_pool`]: `provide` is called
+    /// with an absorb callback and feeds it borrowed clause slices, so
+    /// exporters that stream straight out of a solver arena (see
+    /// [`hh_sat::Solver::export_learnt_with`]) allocate only for the clauses
+    /// the pool actually keeps. Returns how many were absorbed.
+    pub fn export_to_pool_with<F>(&self, key: &[u64], provide: F) -> usize
+    where
+        F: FnOnce(&mut dyn FnMut(&[Lit])),
+    {
         let mut pools = self.pools.lock().unwrap();
         let pool = pools.entry(key.to_vec()).or_default();
-        let n = clauses.iter().filter(|c| pool.absorb(c)).count();
+        let mut n = 0usize;
+        provide(&mut |c: &[Lit]| {
+            if pool.absorb(c) {
+                n += 1;
+            }
+        });
         self.exported.fetch_add(n as u64, Ordering::Relaxed);
         hh_trace::counter!("smt", "smt.pool.exported", n);
         n

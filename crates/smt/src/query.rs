@@ -68,6 +68,13 @@ pub struct QueryTelemetry {
     pub clauses: usize,
     /// Solver conflicts spent.
     pub conflicts: u64,
+    /// Literals the solver propagated during this query.
+    pub propagations: u64,
+    /// Learnt-database reduction rounds the solver ran during this query.
+    pub reduces: u64,
+    /// Clause-arena footprint (bytes) of the session's solver after this
+    /// query — a gauge, not a delta.
+    pub arena_bytes: u64,
     /// Number of `solve` calls (1 + minimisation probes).
     pub solves: u64,
     /// Variables the query *reused* from a live session instead of

@@ -239,11 +239,10 @@ impl<'a> AbductionSession<'a> {
             return 0;
         };
         let n_base = self.n_base_vars;
-        let clauses = enc.cnf().solver().export_learnt(|v| v.index() < n_base);
-        if clauses.is_empty() {
-            return 0;
-        }
-        cache.export_to_pool(&sig.key, &clauses)
+        let solver = enc.cnf().solver();
+        cache.export_to_pool_with(&sig.key, |absorb| {
+            solver.export_learnt_with(|v| v.index() < n_base, absorb)
+        })
     }
 
     /// Runs the abduction query for this session's target over
@@ -411,6 +410,9 @@ impl<'a> AbductionSession<'a> {
                 vars,
                 clauses,
                 conflicts: after.conflicts - before.conflicts,
+                propagations: after.propagations - before.propagations,
+                reduces: after.reduces - before.reduces,
+                arena_bytes: after.arena_bytes,
                 solves: after.solves - before.solves,
                 vars_reused,
                 clauses_reused,

@@ -229,11 +229,29 @@ fn wire_iq(
 
 /// Builds a BoomLite core.
 pub fn boom_lite(variant: BoomVariant, xlen: u32) -> Design {
+    boom_lite_scaled(variant, xlen, 1)
+}
+
+/// [`boom_lite`] with the pipeline deepened `scale`-fold: issue-queue and
+/// reorder-buffer entry counts are multiplied by `scale` (a power of two, so
+/// ROB index arithmetic keeps wrapping naturally). `scale = 1` is exactly
+/// the Table 1 variant. Deeper pipelines blow up the control-path cones —
+/// and the SAT queries under them — without changing the leakage story, so
+/// solver perf gates use this for headroom.
+pub fn boom_lite_scaled(variant: BoomVariant, xlen: u32, scale: usize) -> Design {
+    assert!(
+        scale >= 1 && scale.is_power_of_two(),
+        "scale must be a power of two, got {scale}"
+    );
     let _ = &mulunit::iter_mul; // doc cross-link only
-    let mut n = Netlist::new(format!("{}_x{xlen}", variant.name().to_lowercase()));
+    let mut n = Netlist::new(if scale == 1 {
+        format!("{}_x{xlen}", variant.name().to_lowercase())
+    } else {
+        format!("{}_x{xlen}_d{scale}", variant.name().to_lowercase())
+    });
     let rb = reg_bits(NREGS);
-    let iq_n = variant.iq_entries();
-    let rob_n = variant.rob_entries();
+    let iq_n = variant.iq_entries() * scale;
+    let rob_n = variant.rob_entries() * scale;
     let rbits = rob_n.trailing_zeros().max(1);
     let nopw = Instruction::nop().encode() as u64;
 
