@@ -13,12 +13,18 @@
 //!   transition, solved from scratch: conflict analysis, learnt-tier
 //!   bookkeeping and restarts all engage.
 //!
-//! Both run under the default (flat-arena, glucose, tiered) configuration
-//! and under `Config::seed_baseline()` so the heuristic deltas are visible
-//! next to each other in the Criterion report.
+//! Both run under the default (flat-arena, glucose, tiered, chronological
+//! backtracking) configuration, under the default with chronological
+//! backtracking disabled, and under `Config::seed_baseline()` so the
+//! heuristic deltas are visible next to each other in the Criterion report.
+//! A third group, `*/portfolio_*`, A/Bs deterministic portfolio racing
+//! (DESIGN.md ablation 12): the ladder measures pure racing overhead (no
+//! conflicts — the diversified arm never engages), while the search
+//! workload races for real once the opening budget slice is exceeded.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hh_sat::{Config, Lit, SolveResult, Solver, Var};
+use hh_smt::portfolio::race_with;
 
 /// Chain length of the implication ladder (also its variable count).
 const LADDER_VARS: usize = 2_000;
@@ -86,9 +92,19 @@ fn search_formula() -> Vec<Vec<Lit>> {
     clauses
 }
 
+/// The default configuration with chronological backtracking turned off —
+/// the chrono on/off A/B arm next to `modern` (which has it on).
+fn modern_nochrono() -> Config {
+    Config {
+        chrono: false,
+        ..Config::default()
+    }
+}
+
 fn bench(c: &mut Criterion) {
     for (tag, config) in [
         ("modern", Config::default()),
+        ("modern_nochrono", modern_nochrono()),
         ("seed_baseline", Config::seed_baseline()),
     ] {
         let (mut s, trigger) = ladder(config);
@@ -109,6 +125,7 @@ fn bench(c: &mut Criterion) {
     let formula = search_formula();
     for (tag, config) in [
         ("modern", Config::default()),
+        ("modern_nochrono", modern_nochrono()),
         ("seed_baseline", Config::seed_baseline()),
     ] {
         c.bench_function(&format!("search/{tag}"), |b| {
@@ -121,6 +138,41 @@ fn bench(c: &mut Criterion) {
                     s.add_clause(cl);
                 }
                 black_box(s.solve())
+            })
+        });
+    }
+
+    // Portfolio on/off: identical workloads, solved solo vs raced. The
+    // ladder never conflicts, so its race concludes inside the opening
+    // slice — the delta there is the racing scaffolding itself. The search
+    // workload exceeds a 512-conflict opening slice and races for real.
+    for (tag, portfolio) in [("solo", false), ("race", true)] {
+        let (mut s, trigger) = ladder(Config::default());
+        c.bench_function(&format!("propagation/portfolio_{tag}"), |b| {
+            b.iter(|| {
+                if portfolio {
+                    black_box(race_with(&mut s, black_box(&[trigger]), 512).0)
+                } else {
+                    black_box(s.solve_with_assumptions(black_box(&[trigger])))
+                }
+            })
+        });
+    }
+    for (tag, portfolio) in [("solo", false), ("race", true)] {
+        c.bench_function(&format!("search/portfolio_{tag}"), |b| {
+            b.iter(|| {
+                let mut s = Solver::new();
+                for _ in 0..SEARCH_VARS {
+                    s.new_var();
+                }
+                for cl in &formula {
+                    s.add_clause(cl);
+                }
+                if portfolio {
+                    black_box(race_with(&mut s, &[], 512).0)
+                } else {
+                    black_box(s.solve())
+                }
             })
         });
     }

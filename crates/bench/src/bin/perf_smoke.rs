@@ -38,7 +38,14 @@
 //! * attaching a proof sink to that same stream must cost less than 2% of
 //!   the unlogged stream's wall-clock — measured as the per-event sink cost
 //!   times the stream's proof-event count (like the off-mode gates; the
-//!   end-to-end difference of two ~20 ms runs is scheduling noise).
+//!   end-to-end difference of two ~20 ms runs is scheduling noise),
+//! * the same stream driven through deterministic portfolio racing
+//!   (`hh_smt::portfolio`, chrono backtracking on — DESIGN.md ablation 12)
+//!   must also beat `seed_baseline()` by >= 10% with identical answers —
+//!   racing is pure scheduling, never a semantic change — and
+//! * the sharing-quadrant determinism check re-runs with portfolio racing
+//!   enabled at 1/2/4 worker threads: the learned invariant must stay
+//!   bit-identical to the reference quadrants.
 //!
 //! `--scale N` deepens the scaled design's issue queues and reorder buffer
 //! (`hh_bench::scaled_target`) so the solver-time gates have headroom beyond
@@ -220,6 +227,27 @@ fn main() {
         );
     }
     println!("  invariant bit-identical across 4 quadrants x threads 1/2/4");
+    // Re-run the determinism sweep with deterministic portfolio racing
+    // enabled (DESIGN.md ablation 12). The primary arm always supplies the
+    // verdict/model/core and easy obligations never exceed the opening
+    // budget slice, so racing must be invisible in the learned invariant.
+    for threads in [1usize, 2, 4] {
+        let cfg = EngineConfig {
+            abduction: AbductionConfig {
+                portfolio: true,
+                ..AbductionConfig::paper_default()
+            },
+            ..EngineConfig::default()
+        };
+        let run = learn_run_config(&boom.design, &boom_safe, threads, cfg, true);
+        let inv = run.invariant.as_ref().expect("portfolio run must learn");
+        assert_eq!(
+            fingerprint(inv),
+            reference,
+            "invariant differs with portfolio racing at threads={threads}"
+        );
+    }
+    println!("  invariant bit-identical with portfolio racing at threads 1/2/4");
     let encode_off = secs(quadrants[0].3.encode_time);
     let encode_on = secs(quadrants[3].3.encode_time);
     println!("  encode time {encode_off:.3}s (no sharing) -> {encode_on:.3}s (full sharing)");
@@ -402,13 +430,43 @@ fn main() {
         (secs(t.elapsed()), answers, s.stats())
     };
 
+    // The same sweep raced through the deterministic portfolio (primary =
+    // the incremental solver above under the default config, diversified
+    // arm engaged only past the opening budget slice). Candidate vars are
+    // frozen so a lazily-built diversified arm sees them intact.
+    let run_race_stream = || {
+        let mut s = hh_sat::Solver::with_config(hh_sat::Config::default());
+        while s.num_vars() < m_vars {
+            s.new_var();
+        }
+        for l in &cand_lits {
+            s.freeze(l.var());
+        }
+        for c in &m_formula {
+            s.add_clause(c);
+        }
+        let mut races = 0u64;
+        let mut arm_wins = 0u64;
+        let t = Instant::now();
+        let mut answers = Vec::new();
+        for k in 0..cand_lits.len() {
+            let (res, report) = hh_smt::portfolio::race(&mut s, &cand_lits[k..]);
+            races += report.races;
+            arm_wins += report.arm_wins;
+            answers.push(res);
+        }
+        (secs(t.elapsed()), answers, s.stats(), races, arm_wins)
+    };
+
     // Best-of-ROUNDS per configuration: the min is the standard noise-robust
     // estimator for a deterministic workload (every round does identical
     // work; anything above the min is scheduling/cache interference).
     let mut modern_s = f64::INFINITY;
     let mut seed_s = f64::INFINITY;
     let mut proof_on_s = f64::INFINITY;
+    let mut portfolio_s = f64::INFINITY;
     let (mut modern_stats, mut seed_stats, mut proof_stats) = (None, None, None);
+    let mut race_stats = None;
     for _ in 0..ROUNDS {
         let (t, a, st) = run_stream(hh_sat::Config::default(), false);
         modern_s = modern_s.min(t);
@@ -418,14 +476,20 @@ fn main() {
         let (t3, a3, st3) = run_stream(hh_sat::Config::default(), true);
         proof_on_s = proof_on_s.min(t3);
         assert_eq!(a, a3, "proof logging changed an answer");
+        let (t4, a4, st4, races, arm_wins) = run_race_stream();
+        portfolio_s = portfolio_s.min(t4);
+        assert_eq!(a, a4, "portfolio racing changed a stream answer");
         modern_stats = Some(st);
         seed_stats = Some(st2);
         proof_stats = Some(st3);
+        race_stats = Some((st4, races, arm_wins));
     }
     let modern_stats = modern_stats.unwrap();
     let seed_stats = seed_stats.unwrap();
     let proof_stats: hh_sat::SolverStats = proof_stats.unwrap();
+    let (race_solver_stats, race_races, race_arm_wins) = race_stats.unwrap();
     let arena_speedup = seed_s / modern_s;
+    let portfolio_speedup = seed_s / portfolio_s;
     let props_per_s = modern_stats.propagations as f64 / modern_s;
     let conflicts_per_s = modern_stats.conflicts as f64 / modern_s;
 
@@ -467,6 +531,19 @@ fn main() {
         seed_stats.propagations, seed_stats.conflicts, seed_stats.reduces
     );
     println!("  speedup {arena_speedup:.2}x (gate: >= {MIN_ARENA_SPEEDUP}x)");
+    println!(
+        "  chrono  {} chrono backtracks (modern stream)",
+        modern_stats.chrono_backtracks
+    );
+    println!(
+        "  race    {portfolio_s:.3}s ({} races, {} arm wins, {} budget rounds, \
+         {} chrono backtracks)",
+        race_races,
+        race_arm_wins,
+        race_solver_stats.budget_rounds,
+        race_solver_stats.chrono_backtracks
+    );
+    println!("  portfolio speedup {portfolio_speedup:.2}x (gate: >= {MIN_ARENA_SPEEDUP}x)");
     println!(
         "  arena   {} bytes, reduce {} us, {} compactions, {} restart blocks",
         modern_stats.arena_bytes,
@@ -518,6 +595,20 @@ fn main() {
         ("arena_proof_on_s", proof_on_s, "s"),
         ("arena_proof_event_ns", proof_event_ns, "ns"),
         ("arena_proof_overhead_frac", stream_proof_overhead, "frac"),
+        (
+            "sat.chrono_backtracks",
+            modern_stats.chrono_backtracks as f64,
+            "backtracks",
+        ),
+        ("arena_portfolio_s", portfolio_s, "s"),
+        ("portfolio_speedup", portfolio_speedup, "x"),
+        ("portfolio.races", race_races as f64, "races"),
+        ("portfolio.arm_wins", race_arm_wins as f64, "wins"),
+        (
+            "sat.budget_rounds",
+            race_solver_stats.budget_rounds as f64,
+            "rounds",
+        ),
     ] {
         report.push("perf_smoke", mega.name, key, value, unit);
     }
@@ -674,6 +765,11 @@ fn main() {
         arena_speedup >= MIN_ARENA_SPEEDUP,
         "arena solver does not beat the seed baseline: \
          {arena_speedup:.2}x < {MIN_ARENA_SPEEDUP}x on the scaled design"
+    );
+    assert!(
+        portfolio_speedup >= MIN_ARENA_SPEEDUP,
+        "portfolio+chrono stream does not beat the seed baseline: \
+         {portfolio_speedup:.2}x < {MIN_ARENA_SPEEDUP}x on the scaled design"
     );
     assert!(
         stream_proof_overhead < 0.02,

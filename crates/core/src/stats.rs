@@ -83,6 +83,16 @@ pub struct Stats {
     /// Peak clause-arena footprint (bytes) observed across all sessions —
     /// a high-water gauge, so folds take the maximum rather than the sum.
     pub sat_arena_bytes: u64,
+    /// Chronological (one-level) backtracks across all SAT queries.
+    pub sat_chrono_backtracks: u64,
+    /// Budgeted `solve_limited` rounds driven across all SAT queries
+    /// (portfolio racing slices).
+    pub sat_budget_rounds: u64,
+    /// Abduction obligations where the portfolio's diversified arm was
+    /// engaged (the primary solver outlived its opening budget slice).
+    pub portfolio_races: u64,
+    /// Races the diversified arm concluded first.
+    pub portfolio_arm_wins: u64,
     /// Word-level constant folds performed by the blaster's simplifier.
     pub word_const_folds: u64,
     /// Word-level algebraic rewrites performed by the blaster's simplifier.
@@ -234,6 +244,10 @@ impl Stats {
         self.sat_conflicts += t.conflicts;
         self.sat_reduces += t.reduces;
         self.sat_arena_bytes = self.sat_arena_bytes.max(t.arena_bytes);
+        self.sat_chrono_backtracks += t.chrono_backtracks;
+        self.sat_budget_rounds += t.budget_rounds;
+        self.portfolio_races += t.portfolio_races;
+        self.portfolio_arm_wins += t.portfolio_arm_wins;
         self.word_const_folds += t.const_folds;
         self.word_rewrites += t.rewrites;
         self.word_strash_hits += t.strash_hits;
@@ -318,6 +332,10 @@ impl Stats {
         self.sat_conflicts += other.sat_conflicts;
         self.sat_reduces += other.sat_reduces;
         self.sat_arena_bytes = self.sat_arena_bytes.max(other.sat_arena_bytes);
+        self.sat_chrono_backtracks += other.sat_chrono_backtracks;
+        self.sat_budget_rounds += other.sat_budget_rounds;
+        self.portfolio_races += other.portfolio_races;
+        self.portfolio_arm_wins += other.portfolio_arm_wins;
         self.word_const_folds += other.word_const_folds;
         self.word_rewrites += other.word_rewrites;
         self.word_strash_hits += other.word_strash_hits;
@@ -363,6 +381,10 @@ impl Stats {
             ("sat.conflicts", self.sat_conflicts),
             ("sat.reduce", self.sat_reduces),
             ("sat.arena_bytes", self.sat_arena_bytes),
+            ("sat.chrono_backtracks", self.sat_chrono_backtracks),
+            ("sat.budget_rounds", self.sat_budget_rounds),
+            ("portfolio.races", self.portfolio_races),
+            ("portfolio.arm_wins", self.portfolio_arm_wins),
         ]
     }
 }

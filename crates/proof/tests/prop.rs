@@ -4,7 +4,7 @@
 //! wrapper trick; and damaged streams must be rejected.
 
 use hh_proof::{check_proof, check_proof_with_assumptions, CheckError, MemoryProof, ProofLine};
-use hh_sat::{dimacs, Lit, SolveResult, Solver, Var};
+use hh_sat::{dimacs, Config, LimitedResult, Lit, SolveResult, Solver, Var};
 use proptest::prelude::*;
 
 /// A random clause set over `num_vars` variables, as signed var indices.
@@ -163,6 +163,101 @@ proptest! {
                 .unwrap_or_else(|e| {
                     panic!("proof broken by reduce/compaction: {e}\nformula: {clauses:?}")
                 });
+        }
+    }
+
+    /// Chronological backtracking at its most aggressive threshold still
+    /// emits checkable DRAT streams, with and without assumptions. The
+    /// out-of-order trail must never leak underivable clauses into the
+    /// proof.
+    #[test]
+    fn chrono_proofs_always_check(
+        clauses in arb_cnf(7, 30),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+    ) {
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let assumptions: Vec<Lit> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| vars[i].lit((polarity >> i) & 1 == 1))
+            .collect();
+        let mut s = Solver::with_config(Config {
+            chrono: true,
+            chrono_threshold: 1,
+            ..Config::default()
+        });
+        for _ in 0..7 {
+            s.new_var();
+        }
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+            s.add_clause(&lits);
+        }
+        let formula = dimacs::from_solver(&s).clauses;
+        let sink = MemoryProof::new();
+        let handle = sink.handle();
+        s.set_proof_sink(Box::new(sink));
+        if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+            let proof = handle.take_lines();
+            check_proof_with_assumptions(&formula, &assumptions, &proof)
+                .unwrap_or_else(|e| panic!("chrono proof rejected: {e}\nformula: {clauses:?}"));
+        }
+    }
+
+    /// A solve driven to its verdict through many tiny `solve_limited`
+    /// budget rounds (the portfolio racing pattern) produces one DRAT
+    /// stream across all the suspensions, and it still checks.
+    #[test]
+    fn budgeted_solve_proofs_always_check(clauses in arb_cnf(7, 30), slice in 1u64..8) {
+        let mut s = build_solver(7, &clauses);
+        let formula = dimacs::from_solver(&s).clauses;
+        let sink = MemoryProof::new();
+        let handle = sink.handle();
+        s.set_proof_sink(Box::new(sink));
+        let mut verdict = None;
+        for _ in 0..10_000 {
+            match s.solve_limited(&[], slice) {
+                LimitedResult::Unknown => continue,
+                v => { verdict = Some(v); break; }
+            }
+        }
+        if verdict == Some(LimitedResult::Unsat) {
+            let proof = handle.take_lines();
+            check_proof(&formula, &proof)
+                .unwrap_or_else(|e| panic!("budgeted proof rejected: {e}\nformula: {clauses:?}"));
+        }
+    }
+
+    /// A full portfolio race run with a proof sink attached to the primary
+    /// (the deterministically-chosen winner) still yields a checkable DRAT
+    /// stream: the diversified arm's clauses are declined at import under
+    /// proof logging, so every line of the stream is the primary's own
+    /// derivation. Tiny opening slices force the race to actually engage.
+    #[test]
+    fn portfolio_race_proofs_always_check(
+        clauses in arb_cnf(7, 30),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+        slice in 1u64..4,
+    ) {
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let assumptions: Vec<Lit> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| vars[i].lit((polarity >> i) & 1 == 1))
+            .collect();
+        let mut s = build_solver(7, &clauses);
+        for l in &assumptions {
+            s.freeze(l.var());
+        }
+        let formula = dimacs::from_solver(&s).clauses;
+        let sink = MemoryProof::new();
+        let handle = sink.handle();
+        s.set_proof_sink(Box::new(sink));
+        let (res, _report) = hh_smt::portfolio::race_with(&mut s, &assumptions, slice);
+        if res == SolveResult::Unsat {
+            let proof = handle.take_lines();
+            check_proof_with_assumptions(&formula, &assumptions, &proof)
+                .unwrap_or_else(|e| panic!("portfolio proof rejected: {e}\nformula: {clauses:?}"));
         }
     }
 

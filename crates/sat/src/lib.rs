@@ -61,4 +61,4 @@ pub mod proof;
 pub use lit::{Lit, Var};
 pub use minimize::minimize_core;
 pub use proof::{CountingSink, ProofSink};
-pub use solver::{Config, RestartMode, SolveResult, Solver, SolverStats};
+pub use solver::{Config, LimitedResult, RestartMode, SolveResult, Solver, SolverStats};

@@ -46,6 +46,22 @@ pub enum SolveResult {
     Unsat,
 }
 
+/// Outcome of a [`Solver::solve_limited`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitedResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable; the
+    /// involved assumptions are available from [`Solver::unsat_core`].
+    Unsat,
+    /// The conflict budget was exhausted before a verdict. The search state
+    /// (learnt clauses, activities, phases) persists, so a later
+    /// [`Solver::solve_limited`] or [`Solver::solve_with_assumptions`] call
+    /// resumes from the accumulated knowledge.
+    Unknown,
+}
+
 /// Restart strategy selector (see [`Config::restart_mode`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RestartMode {
@@ -124,6 +140,24 @@ pub struct Config {
     /// arena during propagation. When off, every visited watcher pays the
     /// arena load (the seed solver's behaviour).
     pub use_blockers: bool,
+    /// Chronological backtracking (Nadel/Ryvchin): a conflict whose backjump
+    /// would discard more than [`Config::chrono_threshold`] decision levels
+    /// backtracks a single level instead, keeping the (still consistent)
+    /// deeper partial assignment. The asserting literal is then assigned at
+    /// its true assertion level, which leaves out-of-order entries on the
+    /// trail; [`Solver::cancel_until`], conflict analysis and UNSAT-core
+    /// extraction all account for them. When off, every conflict backjumps
+    /// (the seed solver's behaviour).
+    pub chrono: bool,
+    /// Backjump distance (in decision levels) above which chronological
+    /// backtracking engages. Only read when [`Config::chrono`] is on.
+    ///
+    /// The default is deliberately high: chrono pays off on deep monolithic
+    /// solves (it is what makes the HOUDINI/SORCAR baselines tractable at
+    /// scale) but adds re-derivation churn on the short assumption-heavy
+    /// cone queries the hierarchical engine issues, so it should engage only
+    /// when a conflict would throw away a genuinely long trail.
+    pub chrono_threshold: u32,
 }
 
 impl Default for Config {
@@ -147,6 +181,8 @@ impl Default for Config {
             compact_garbage_frac: 0.25,
             inline_binaries: true,
             use_blockers: true,
+            chrono: true,
+            chrono_threshold: 500,
         }
     }
 }
@@ -167,8 +203,83 @@ impl Config {
             save_best_phases: false,
             inline_binaries: false,
             use_blockers: false,
+            chrono: false,
             ..Config::default()
         }
+    }
+
+    /// Checks the knobs for internal consistency, returning the first
+    /// violated rule. The 19 knobs otherwise accept silent nonsense
+    /// combinations (a core tier wider than the mid tier, decays outside
+    /// `(0, 1)`, zero restart intervals); [`Solver::with_config`]
+    /// debug-asserts this so misconfigurations fail loudly in tests rather
+    /// than degenerating quietly in production runs.
+    pub fn validate(&self) -> Result<(), String> {
+        fn open_unit(name: &str, v: f64) -> Result<(), String> {
+            if v > 0.0 && v < 1.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must lie in (0, 1), got {v}"))
+            }
+        }
+        open_unit("var_decay", self.var_decay)?;
+        open_unit("clause_decay", self.clause_decay)?;
+        open_unit("restart_ema_alpha", self.restart_ema_alpha)?;
+        if self.restart_base == 0 {
+            return Err("restart_base must be nonzero".into());
+        }
+        if self.learnt_size_factor <= 0.0 {
+            return Err(format!(
+                "learnt_size_factor must be positive, got {}",
+                self.learnt_size_factor
+            ));
+        }
+        if self.learnt_size_inc < 1.0 {
+            return Err(format!(
+                "learnt_size_inc below 1.0 shrinks the learnt cap, got {}",
+                self.learnt_size_inc
+            ));
+        }
+        if self.restart_margin < 1.0 {
+            return Err(format!(
+                "restart_margin below 1.0 restarts on every conflict, got {}",
+                self.restart_margin
+            ));
+        }
+        if self.restart_block_margin < 1.0 {
+            return Err(format!(
+                "restart_block_margin below 1.0 blocks every restart, got {}",
+                self.restart_block_margin
+            ));
+        }
+        if self.restart_min_interval == 0 {
+            return Err("restart_min_interval must be nonzero".into());
+        }
+        if self.core_lbd == 0 {
+            return Err("core_lbd must be nonzero (learnt LBDs start at 1)".into());
+        }
+        if self.core_lbd > self.tier2_lbd {
+            return Err(format!(
+                "core_lbd ({}) must not exceed tier2_lbd ({})",
+                self.core_lbd, self.tier2_lbd
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.reduce_fraction) {
+            return Err(format!(
+                "reduce_fraction must lie in [0, 1], got {}",
+                self.reduce_fraction
+            ));
+        }
+        if !(self.compact_garbage_frac > 0.0 && self.compact_garbage_frac <= 1.0) {
+            return Err(format!(
+                "compact_garbage_frac must lie in (0, 1], got {}",
+                self.compact_garbage_frac
+            ));
+        }
+        if self.chrono_threshold == 0 {
+            return Err("chrono_threshold must be nonzero".into());
+        }
+        Ok(())
     }
 }
 
@@ -212,6 +323,12 @@ pub struct SolverStats {
     /// Current clause-arena size in bytes — a gauge refreshed after every
     /// solve and reduction, not a monotone counter.
     pub arena_bytes: u64,
+    /// Conflicts resolved by chronological (single-level) backtracking
+    /// instead of a full backjump (see [`Config::chrono`]).
+    pub chrono_backtracks: u64,
+    /// [`Solver::solve_limited`] calls — each is one budgeted round of a
+    /// portfolio race (or any other caller-paced solve).
+    pub budget_rounds: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -227,6 +344,17 @@ struct Watcher {
 /// EMA smoothing for the average trail size at conflicts (restart
 /// blocking). Fixed: the trail average only gates a heuristic.
 const TRAIL_EMA_ALPHA: f64 = 1.0 / 256.0;
+
+/// Outcome of one [`Solver::search`] round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchOutcome {
+    /// A definitive verdict was reached.
+    Done(SolveResult),
+    /// The caller's conflict ceiling was reached; the solve suspends.
+    Budget,
+    /// The restart policy fired; the driver loop restarts the search.
+    Restart,
+}
 
 /// A CDCL SAT solver.
 ///
@@ -331,7 +459,14 @@ impl Solver {
     }
 
     /// Creates an empty solver with the given configuration.
+    ///
+    /// In debug builds the configuration is checked with
+    /// [`Config::validate`] and an invalid one panics.
     pub fn with_config(config: Config) -> Solver {
+        #[cfg(debug_assertions)]
+        if let Err(msg) = config.validate() {
+            panic!("invalid hh-sat Config: {msg}");
+        }
         Solver {
             config,
             db: ClauseDb::new(),
@@ -606,6 +741,35 @@ impl Solver {
     /// afterwards (incremental interface): more variables, clauses and solve
     /// calls may follow.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_traced(assumptions, None)
+            .expect("an unbudgeted solve always concludes")
+    }
+
+    /// Solves under assumptions with a conflict budget.
+    ///
+    /// Runs the exact CDCL loop of [`Solver::solve_with_assumptions`], but
+    /// suspends and returns [`LimitedResult::Unknown`] once `conflict_budget`
+    /// conflicts have been analysed within this call without reaching a
+    /// verdict. Suspension is lossless — learnt clauses, activities and
+    /// saved phases persist — so a later `solve_limited` (or an unbudgeted
+    /// solve) resumes from the accumulated knowledge, and a call whose
+    /// budget is never hit behaves bit-identically to
+    /// [`Solver::solve_with_assumptions`]. This is the primitive the
+    /// portfolio driver in `hh-smt` uses to race solver configurations in
+    /// deterministic budget rounds instead of wall-clock time.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], conflict_budget: u64) -> LimitedResult {
+        self.stats.budget_rounds += 1;
+        match self.solve_traced(assumptions, Some(conflict_budget)) {
+            Some(SolveResult::Sat) => LimitedResult::Sat,
+            Some(SolveResult::Unsat) => LimitedResult::Unsat,
+            None => LimitedResult::Unknown,
+        }
+    }
+
+    /// Shared trace wrapper for the solve entry points: spans the call and
+    /// emits per-call counter deltas (split out so the early returns share
+    /// one recording point).
+    fn solve_traced(&mut self, assumptions: &[Lit], budget: Option<u64>) -> Option<SolveResult> {
         let _span = hh_trace::span!("sat", "sat.solve");
         let before = (
             self.stats.propagations,
@@ -613,8 +777,9 @@ impl Solver {
             self.stats.restarts,
             self.stats.reduces,
             self.stats.arena_bytes,
+            self.stats.chrono_backtracks,
         );
-        let result = self.solve_with_assumptions_inner(assumptions);
+        let result = self.solve_internal(assumptions, budget);
         self.stats.arena_bytes = (self.db.arena_words() * 4) as u64;
         if hh_trace::enabled() {
             hh_trace::counter!(
@@ -632,19 +797,30 @@ impl Solver {
                 "sat.arena_bytes",
                 self.stats.arena_bytes as i64 - before.4 as i64
             );
+            hh_trace::counter!(
+                "sat",
+                "sat.chrono_backtracks",
+                self.stats.chrono_backtracks - before.5
+            );
+            if budget.is_some() {
+                hh_trace::counter!("sat", "sat.budget_rounds", 1u64);
+            }
         }
         result
     }
 
-    /// [`Solver::solve_with_assumptions`] minus the trace span/counters
-    /// (split out so the early returns share one recording point).
-    fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
+    /// The CDCL driver loop. `budget` is a per-call conflict allowance:
+    /// `None` runs to a verdict, `Some(n)` suspends (returning `None`) once
+    /// `n` conflicts have been analysed in this call, always at decision
+    /// level 0 with all conflict handling complete, so the suspended state
+    /// is exactly a restart point.
+    fn solve_internal(&mut self, assumptions: &[Lit], budget: Option<u64>) -> Option<SolveResult> {
         self.stats.solves += 1;
         self.model.clear();
         self.core.clear();
         if !self.ok {
             self.proof_empty();
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
         self.cancel_until(0);
         // Assumption variables must survive inprocessing: freeze them, and
@@ -653,14 +829,14 @@ impl Solver {
             let v = a.var();
             self.frozen[v.index()] = true;
             if self.eliminated[v.index()] && !self.restore_var(v) {
-                return SolveResult::Unsat;
+                return Some(SolveResult::Unsat);
             }
         }
         if self.config.simplify_interval > 0
             && self.stats.conflicts - self.last_simplify_conflicts >= self.config.simplify_interval
             && !self.simplify()
         {
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
         self.max_learnts = (self.db.num_clauses() as f64) * self.config.learnt_size_factor + 1000.0;
         if self.config.save_best_phases {
@@ -669,11 +845,14 @@ impl Solver {
             self.best_phase.clone_from(&self.phase);
             self.best_trail = 0;
         }
+        // The budget is relative to this call: turn it into an absolute
+        // ceiling on the cumulative conflict counter.
+        let ceiling = budget.map(|b| self.stats.conflicts.saturating_add(b));
         let mut restarts: u64 = 0;
         loop {
-            let budget = luby(restarts) * self.config.restart_base;
-            match self.search(budget, assumptions) {
-                Some(result) => {
+            let restart_budget = luby(restarts) * self.config.restart_base;
+            match self.search(restart_budget, ceiling, assumptions) {
+                SearchOutcome::Done(result) => {
                     self.cancel_until(0);
                     if result == SolveResult::Sat {
                         self.extend_model();
@@ -691,10 +870,13 @@ impl Solver {
                         }
                         self.proof_add(&[]);
                     }
-                    return result;
+                    return Some(result);
                 }
-                None => {
-                    // Restart.
+                SearchOutcome::Budget => {
+                    self.cancel_until(0);
+                    return None;
+                }
+                SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
                     if self.config.save_best_phases && self.best_trail > 0 {
@@ -933,24 +1115,62 @@ impl Solver {
     // Search
     // ------------------------------------------------------------------
 
-    /// Runs CDCL until the restart policy fires (returning `None` to signal
-    /// a restart) or a definitive result is reached. `conflict_budget` is
-    /// the Luby budget; glucose mode ignores it and watches the LBD EMAs.
-    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+    /// Runs CDCL until the restart policy fires, the caller's conflict
+    /// ceiling is reached, or a definitive result is found.
+    /// `conflict_budget` is the Luby restart budget (glucose mode ignores it
+    /// and watches the LBD EMAs); `ceiling` is the absolute
+    /// `stats.conflicts` value at which a budgeted solve suspends, checked
+    /// only between fully-handled conflicts so suspension never splits a
+    /// conflict's bookkeeping.
+    fn search(
+        &mut self,
+        conflict_budget: u64,
+        ceiling: Option<u64>,
+        assumptions: &[Lit],
+    ) -> SearchOutcome {
         let mut conflicts: u64 = 0;
         loop {
             if let Some(confl) = self.propagate() {
                 conflicts += 1;
                 self.stats.conflicts += 1;
-                if self.decision_level() == 0 {
+                // Under chronological backtracking the conflict can lie
+                // entirely below the current decision level (an asserting
+                // literal placed at a lower level falsified an old clause):
+                // fall back to the conflict's own level first so analysis
+                // sees the conflicting clause at its "current" level.
+                if self.config.chrono {
+                    let c_lvl = self.conflict_level(confl);
+                    if c_lvl == 0 {
+                        self.ok = false;
+                        self.proof_empty();
+                        return SearchOutcome::Done(SolveResult::Unsat);
+                    }
+                    if c_lvl < self.decision_level() {
+                        self.cancel_until(c_lvl);
+                    }
+                } else if self.decision_level() == 0 {
                     self.ok = false;
                     self.proof_empty();
-                    return Some(SolveResult::Unsat);
+                    return SearchOutcome::Done(SolveResult::Unsat);
                 }
                 let trail_depth = self.trail.len() as f64;
                 let (learnt, backtrack_level) = self.analyze(confl);
-                self.cancel_until(backtrack_level);
-                let lbd = self.record_learnt(learnt);
+                // Chronological backtracking: when the backjump would throw
+                // away many levels of (possibly still useful) assignment,
+                // step back a single level instead. The learnt clause stays
+                // asserting because its literal is enqueued at its true
+                // assertion level (`backtrack_level`), leaving an
+                // out-of-order trail entry.
+                let target = if self.config.chrono
+                    && self.decision_level() - backtrack_level > self.config.chrono_threshold
+                {
+                    self.stats.chrono_backtracks += 1;
+                    self.decision_level() - 1
+                } else {
+                    backtrack_level
+                };
+                self.cancel_until(target);
+                let lbd = self.record_learnt(learnt, backtrack_level);
                 self.decay_activities();
                 // Restart bookkeeping: fold this conflict's LBD into the
                 // recent EMA and the global mean, and its (pre-backtrack)
@@ -971,13 +1191,16 @@ impl Solver {
                     self.stats.restart_blocks += 1;
                 }
             } else {
+                if ceiling.is_some_and(|c| self.stats.conflicts >= c) {
+                    return SearchOutcome::Budget;
+                }
                 let restart = match self.config.restart_mode {
                     RestartMode::Luby => conflicts >= conflict_budget,
                     RestartMode::Glucose => self.restart_pending(conflicts),
                 };
                 if restart {
                     self.cancel_until(0);
-                    return None;
+                    return SearchOutcome::Restart;
                 }
                 if self.db.num_local() as f64 >= self.max_learnts {
                     self.reduce_db();
@@ -995,7 +1218,7 @@ impl Solver {
                         }
                         LBool::False => {
                             self.analyze_final(p);
-                            return Some(SolveResult::Unsat);
+                            return SearchOutcome::Done(SolveResult::Unsat);
                         }
                         LBool::Undef => {
                             next = Some(p);
@@ -1010,7 +1233,7 @@ impl Solver {
                         None => {
                             // All variables assigned: model found.
                             self.model = self.assigns.clone();
-                            return Some(SolveResult::Sat);
+                            return SearchOutcome::Done(SolveResult::Sat);
                         }
                     },
                 };
@@ -1157,12 +1380,37 @@ impl Solver {
     }
 
     pub(crate) fn unchecked_enqueue(&mut self, p: Lit, from: Option<ClauseRef>) {
+        let lvl = self.decision_level();
+        self.unchecked_enqueue_at(p, from, lvl);
+    }
+
+    /// Enqueues `p` with an explicit assignment level, which may lie below
+    /// the current decision level (chronological backtracking assigns a
+    /// learnt clause's asserting literal at its true assertion level even
+    /// though the trail is deeper). The entry is appended to the trail
+    /// wherever search currently is — an "out-of-order" entry that
+    /// [`Solver::cancel_until`] keeps alive when unwinding past it.
+    fn unchecked_enqueue_at(&mut self, p: Lit, from: Option<ClauseRef>, lvl: u32) {
         debug_assert_eq!(self.lit_value(p), LBool::Undef);
+        debug_assert!(lvl <= self.decision_level());
         let v = p.var().index();
         self.assigns[v] = LBool::from_bool(p.is_positive());
         self.reason[v] = from;
-        self.level[v] = self.decision_level();
+        self.level[v] = lvl;
         self.trail.push(p);
+    }
+
+    /// Highest decision level among the literals of `confl`. With
+    /// chronological backtracking a conflicting clause can sit entirely
+    /// below the current decision level; search backtracks to this level
+    /// before analysing it.
+    fn conflict_level(&self, confl: ClauseRef) -> u32 {
+        self.db
+            .lits(confl)
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0)
     }
 
     #[inline]
@@ -1183,15 +1431,38 @@ impl Solver {
             }
         }
         let bound = self.trail_lim[target_level as usize];
-        for i in (bound..self.trail.len()).rev() {
-            let p = self.trail[i];
-            let v = p.var().index();
-            self.phase[v] = p.is_positive();
-            self.assigns[v] = LBool::Undef;
-            self.reason[v] = None;
-            self.order.insert(p.var(), &self.activity);
+        if self.config.chrono {
+            // Chronological backtracking leaves out-of-order entries on the
+            // trail: assignments above `bound` whose level is at or below
+            // the target. Those survive the unwind — compact them down in
+            // trail order and re-propagate from `bound` so their watch
+            // lists are revisited at the new level.
+            let mut j = bound;
+            for i in bound..self.trail.len() {
+                let p = self.trail[i];
+                let v = p.var().index();
+                if self.level[v] <= target_level {
+                    self.trail[j] = p;
+                    j += 1;
+                } else {
+                    self.phase[v] = p.is_positive();
+                    self.assigns[v] = LBool::Undef;
+                    self.reason[v] = None;
+                    self.order.insert(p.var(), &self.activity);
+                }
+            }
+            self.trail.truncate(j);
+        } else {
+            for i in (bound..self.trail.len()).rev() {
+                let p = self.trail[i];
+                let v = p.var().index();
+                self.phase[v] = p.is_positive();
+                self.assigns[v] = LBool::Undef;
+                self.reason[v] = None;
+                self.order.insert(p.var(), &self.activity);
+            }
+            self.trail.truncate(bound);
         }
-        self.trail.truncate(bound);
         self.trail_lim.truncate(target_level as usize);
         self.qhead = bound;
     }
@@ -1233,10 +1504,15 @@ impl Solver {
                     }
                 }
             }
-            // Select the next clause to look at.
+            // Select the next clause to look at: the deepest seen literal
+            // *of the current decision level*. Out-of-order trail entries
+            // (chronological backtracking) can put seen lower-level literals
+            // above current-level ones; those are finished clause literals,
+            // not resolution candidates, so they are skipped.
             loop {
                 index -= 1;
-                if self.seen[self.trail[index].var().index()] {
+                let v = self.trail[index].var().index();
+                if self.seen[v] && self.level[v] >= self.decision_level() {
                     break;
                 }
             }
@@ -1341,8 +1617,12 @@ impl Solver {
         self.core.dedup();
     }
 
-    /// Installs a learnt clause and returns its LBD (1 for units).
-    fn record_learnt(&mut self, learnt: Vec<Lit>) -> u32 {
+    /// Installs a learnt clause and returns its LBD (1 for units). The
+    /// asserting literal is enqueued at `assert_level` — the level of the
+    /// clause's second-highest literal — which equals the current decision
+    /// level after a backjump but lies below it after a chronological
+    /// backtrack (producing an out-of-order trail entry).
+    fn record_learnt(&mut self, learnt: Vec<Lit>, assert_level: u32) -> u32 {
         match learnt.len() {
             0 => {
                 self.ok = false;
@@ -1351,7 +1631,7 @@ impl Solver {
             }
             1 => {
                 self.proof_add(&learnt);
-                self.unchecked_enqueue(learnt[0], None);
+                self.unchecked_enqueue_at(learnt[0], None, 0);
                 1
             }
             _ => {
@@ -1363,7 +1643,7 @@ impl Solver {
                 self.attach(cref);
                 self.bump_clause_activity(cref);
                 self.db.set_used(cref);
-                self.unchecked_enqueue(asserting, Some(cref));
+                self.unchecked_enqueue_at(asserting, Some(cref), assert_level);
                 lbd
             }
         }
@@ -2149,6 +2429,285 @@ mod tests {
         assert!(s.stats().probed_units >= 1);
         assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Unsat);
         assert!(s.unsat_core().contains(&!a));
+    }
+
+    #[test]
+    fn config_validate_accepts_shipped_presets() {
+        assert_eq!(Config::default().validate(), Ok(()));
+        assert_eq!(Config::seed_baseline().validate(), Ok(()));
+    }
+
+    #[test]
+    fn config_validate_rejects_nonsense() {
+        let bad = [
+            Config {
+                var_decay: 1.0,
+                ..Config::default()
+            },
+            Config {
+                clause_decay: 0.0,
+                ..Config::default()
+            },
+            Config {
+                restart_base: 0,
+                ..Config::default()
+            },
+            Config {
+                core_lbd: 7,
+                tier2_lbd: 6,
+                ..Config::default()
+            },
+            Config {
+                core_lbd: 0,
+                ..Config::default()
+            },
+            Config {
+                restart_min_interval: 0,
+                ..Config::default()
+            },
+            Config {
+                reduce_fraction: 1.5,
+                ..Config::default()
+            },
+            Config {
+                compact_garbage_frac: 0.0,
+                ..Config::default()
+            },
+            Config {
+                learnt_size_inc: 0.9,
+                ..Config::default()
+            },
+            Config {
+                restart_margin: 0.5,
+                ..Config::default()
+            },
+            Config {
+                chrono_threshold: 0,
+                ..Config::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "accepted nonsense config: {c:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hh-sat Config")]
+    #[cfg(debug_assertions)]
+    fn with_config_panics_on_invalid_config_in_debug() {
+        let _ = Solver::with_config(Config {
+            core_lbd: 9,
+            tier2_lbd: 3,
+            ..Config::default()
+        });
+    }
+
+    /// A fixed random 3-CNF for the chrono/budget tests (same xorshift64*
+    /// stream as the bench workloads).
+    fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Vec<Vec<Lit>> {
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let mut clauses = Vec::with_capacity(num_clauses);
+        for _ in 0..num_clauses {
+            let mut c: Vec<Lit> = Vec::with_capacity(3);
+            while c.len() < 3 {
+                let v = Var::from_index((next() % num_vars as u64) as usize);
+                if c.iter().any(|l| l.var() == v) {
+                    continue;
+                }
+                c.push(v.lit(next() & 1 == 0));
+            }
+            clauses.push(c);
+        }
+        clauses
+    }
+
+    fn solver_with(config: Config, num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
+        let mut s = Solver::with_config(config);
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+
+    #[test]
+    fn chrono_agrees_with_backjumping_on_random_formulas() {
+        for seed in 1..=20u64 {
+            let clauses = random_3cnf(40, 170, seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut chrono = solver_with(
+                Config {
+                    chrono: true,
+                    chrono_threshold: 1,
+                    ..Config::default()
+                },
+                40,
+                &clauses,
+            );
+            let mut jump = solver_with(
+                Config {
+                    chrono: false,
+                    ..Config::default()
+                },
+                40,
+                &clauses,
+            );
+            let r1 = chrono.solve();
+            let r2 = jump.solve();
+            assert_eq!(r1, r2, "seed {seed}: chrono and backjump disagree");
+            if r1 == SolveResult::Sat {
+                for cl in &clauses {
+                    assert!(
+                        cl.iter().any(|&l| chrono.model_value(l)),
+                        "seed {seed}: chrono model violates {cl:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chrono_threshold_one_engages_chrono_backtracks() {
+        // An aggressive threshold over a hard-enough formula must actually
+        // exercise the chronological path, otherwise the agreement test
+        // above tests nothing.
+        let mut total = 0;
+        for seed in 1..=20u64 {
+            let clauses = random_3cnf(40, 170, seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut s = solver_with(
+                Config {
+                    chrono: true,
+                    chrono_threshold: 1,
+                    ..Config::default()
+                },
+                40,
+                &clauses,
+            );
+            s.solve();
+            total += s.stats().chrono_backtracks;
+        }
+        assert!(
+            total > 0,
+            "chrono threshold 1 never took a chrono backtrack"
+        );
+    }
+
+    #[test]
+    fn solve_limited_suspends_and_resumes_losslessly() {
+        // Pigeonhole 5-into-4 needs plenty of conflicts: a tiny budget must
+        // suspend, and repeated budget rounds must still conclude UNSAT.
+        let mut s = Solver::new();
+        let n = 5;
+        let m = 4;
+        let mut p = vec![vec![Lit(0); m]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var().positive();
+            }
+        }
+        for row in &p {
+            s.add_clause(row);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_k in p.iter().skip(i + 1) {
+                for (&a, &b) in row_i.iter().zip(row_k.iter()) {
+                    s.add_clause(&[!a, !b]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_limited(&[], 1),
+            LimitedResult::Unknown,
+            "one conflict cannot refute php(5,4)"
+        );
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 10_000, "budgeted rounds failed to converge");
+            match s.solve_limited(&[], 50) {
+                LimitedResult::Unknown => continue,
+                verdict => {
+                    assert_eq!(verdict, LimitedResult::Unsat);
+                    break;
+                }
+            }
+        }
+        assert!(s.stats().budget_rounds >= rounds);
+    }
+
+    #[test]
+    fn solve_limited_with_unhit_budget_matches_unbudgeted_solve() {
+        for seed in 1..=10u64 {
+            let clauses = random_3cnf(30, 126, seed.wrapping_mul(0xD1B54A32D192ED03));
+            let mut a = solver_with(Config::default(), 30, &clauses);
+            let mut b = solver_with(Config::default(), 30, &clauses);
+            let ra = a.solve();
+            let rb = b.solve_limited(&[], u64::MAX);
+            match ra {
+                SolveResult::Sat => {
+                    assert_eq!(rb, LimitedResult::Sat);
+                    for v in 0..30 {
+                        let l = Var::from_index(v).positive();
+                        assert_eq!(
+                            a.model_value(l),
+                            b.model_value(l),
+                            "seed {seed}: unhit budget changed the trajectory"
+                        );
+                    }
+                }
+                SolveResult::Unsat => assert_eq!(rb, LimitedResult::Unsat),
+            }
+            assert_eq!(a.stats().conflicts, b.stats().conflicts);
+            assert_eq!(a.stats().decisions, b.stats().decisions);
+        }
+    }
+
+    #[test]
+    fn solve_limited_respects_assumptions_and_cores() {
+        let mut s = Solver::new();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve_limited(&[a, b], 100), LimitedResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a) && core.contains(&b));
+        assert_eq!(s.solve_limited(&[a], 100), LimitedResult::Sat);
+        assert!(s.model_value(a));
+        assert!(!s.model_value(b));
+    }
+
+    #[test]
+    fn chrono_proof_stream_ends_with_empty_clause() {
+        for seed in 1..=20u64 {
+            let clauses = random_3cnf(25, 115, seed.wrapping_mul(0xA0761D6478BD642F));
+            let mut s = solver_with(
+                Config {
+                    chrono: true,
+                    chrono_threshold: 1,
+                    ..Config::default()
+                },
+                25,
+                &clauses,
+            );
+            let sink = RecordingSink::default();
+            let events = sink.events.clone();
+            s.set_proof_sink(Box::new(sink));
+            if s.solve() == SolveResult::Unsat {
+                let ev = events.lock().unwrap();
+                let adds: Vec<&Vec<Lit>> = ev.iter().filter(|(d, _)| !d).map(|(_, c)| c).collect();
+                assert!(
+                    adds.last().is_some_and(|c| c.is_empty()),
+                    "seed {seed}: chrono UNSAT proof must end with the empty clause"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! enumerator on random small formulas, and core extraction is validated
 //! semantically (cores are UNSAT, minimised cores are locally minimal).
 
-use hh_sat::{minimize_core, Lit, SolveResult, Solver, Var};
+use hh_sat::{minimize_core, Config, LimitedResult, Lit, SolveResult, Solver, Var};
 use proptest::prelude::*;
 
 /// A random clause set over `num_vars` variables, as signed var indices.
@@ -344,6 +344,149 @@ proptest! {
             prop_assert!(live.contains(c), "reduce dropped a reason clause {:?}", c);
         }
         prop_assert_eq!(s.solve() == SolveResult::Sat, expected);
+    }
+}
+
+/// `build_solver` with an explicit config.
+fn build_solver_with(config: Config, num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Solver {
+    let mut s = Solver::with_config(config);
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for clause in clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+/// Chrono-always: every conflict with any backjump distance above one level
+/// takes the chronological path — the most out-of-order trail the solver
+/// can produce.
+fn chrono_aggressive() -> Config {
+    Config {
+        chrono: true,
+        chrono_threshold: 1,
+        ..Config::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Chronological backtracking agrees with brute force and with the
+    /// backjumping solver on random CNFs, and its SAT models are real.
+    #[test]
+    fn chrono_agrees_with_brute_force_and_backjumping(clauses in arb_cnf(8, 40)) {
+        let expected = brute_force_sat(8, &clauses);
+        let mut chrono = build_solver_with(chrono_aggressive(), 8, &clauses);
+        let mut jump = build_solver_with(
+            Config { chrono: false, ..Config::default() }, 8, &clauses);
+        let rc = chrono.solve();
+        prop_assert_eq!(rc == SolveResult::Sat, expected);
+        prop_assert_eq!(jump.solve(), rc);
+        if rc == SolveResult::Sat {
+            let vars: Vec<Var> = (0..8).map(Var::from_index).collect();
+            for clause in &clauses {
+                let sat = clause.iter().any(|&(v, pos)| chrono.model_value(vars[v].lit(pos)));
+                prop_assert!(sat, "chrono model violates clause {:?}", clause);
+            }
+        }
+        prop_assert_eq!(chrono.debug_check_watches(), Ok(()));
+    }
+
+    /// Chrono + assumptions: outcomes match the unit-clause semantics, the
+    /// core is a genuine subset refutation, and incremental reuse across
+    /// assumption sets stays sound with out-of-order trails.
+    #[test]
+    fn chrono_assumption_semantics(
+        clauses in arb_cnf(7, 30),
+        pattern in 0u8..128,
+        polarity in 0u8..128,
+    ) {
+        let vars: Vec<Var> = (0..7).map(Var::from_index).collect();
+        let assumed: Vec<(usize, bool)> = (0..7)
+            .filter(|i| (pattern >> i) & 1 == 1)
+            .map(|i| (i, (polarity >> i) & 1 == 1))
+            .collect();
+        let mut with_units = clauses.clone();
+        for &(v, pos) in &assumed {
+            with_units.push(vec![(v, pos)]);
+        }
+        let expected = brute_force_sat(7, &with_units);
+        let assumptions: Vec<Lit> = assumed.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        let mut s = build_solver_with(chrono_aggressive(), 7, &clauses);
+        let res = s.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(res == SolveResult::Sat, expected);
+        if res == SolveResult::Unsat {
+            let core = s.unsat_core().to_vec();
+            for l in &core {
+                prop_assert!(assumptions.contains(l));
+            }
+            prop_assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+        }
+        // Second round on the same solver: learnt clauses from the chrono
+        // run must not corrupt later queries.
+        prop_assert_eq!(s.solve() == SolveResult::Sat, brute_force_sat(7, &clauses));
+    }
+
+    /// Budgeted solving is complete and sound: driving the solver with tiny
+    /// `solve_limited` slices until a verdict agrees with brute force, and
+    /// the number of Unknown rounds is finite.
+    #[test]
+    fn budgeted_rounds_agree_with_brute_force(
+        clauses in arb_cnf(8, 40),
+        slice in 1u64..8,
+    ) {
+        let expected = brute_force_sat(8, &clauses);
+        let mut s = build_solver(8, &clauses);
+        let mut verdict = None;
+        for _ in 0..10_000 {
+            match s.solve_limited(&[], slice) {
+                LimitedResult::Unknown => continue,
+                LimitedResult::Sat => { verdict = Some(true); break; }
+                LimitedResult::Unsat => { verdict = Some(false); break; }
+            }
+        }
+        prop_assert_eq!(verdict, Some(expected), "budgeted rounds diverged");
+        if expected {
+            let vars: Vec<Var> = (0..8).map(Var::from_index).collect();
+            for clause in &clauses {
+                let sat = clause.iter().any(|&(v, pos)| s.model_value(vars[v].lit(pos)));
+                prop_assert!(sat, "budgeted model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    /// Racing two configurations by budget rounds never changes the verdict
+    /// either arm would reach alone — the portfolio-soundness property at
+    /// the raw solver level, driven on the diversified arm's config too.
+    #[test]
+    fn budget_racing_matches_either_arm_alone(
+        clauses in arb_cnf(7, 30),
+        slice in 1u64..16,
+    ) {
+        let expected = brute_force_sat(7, &clauses);
+        let mut primary = build_solver(7, &clauses);
+        let mut diversified = build_solver_with(
+            Config {
+                restart_mode: hh_sat::RestartMode::Luby,
+                save_best_phases: false,
+                ..Config::default()
+            },
+            7,
+            &clauses,
+        );
+        let mut verdict = None;
+        'race: for round in 0..10_000u64 {
+            let budget = slice << round.min(10);
+            for arm in [&mut primary, &mut diversified] {
+                match arm.solve_limited(&[], budget) {
+                    LimitedResult::Unknown => {}
+                    LimitedResult::Sat => { verdict = Some(true); break 'race; }
+                    LimitedResult::Unsat => { verdict = Some(false); break 'race; }
+                }
+            }
+        }
+        prop_assert_eq!(verdict, Some(expected), "race verdict diverged from brute force");
     }
 }
 

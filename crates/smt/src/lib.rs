@@ -47,6 +47,7 @@
 pub mod blast;
 pub mod cache;
 pub mod cnf;
+pub mod portfolio;
 pub mod pred;
 pub mod query;
 pub mod session;

@@ -1,0 +1,225 @@
+//! Deterministic per-obligation portfolio racing.
+//!
+//! No single solver configuration dominates across instance families, so
+//! each hard obligation races two arms of the CDCL solver:
+//!
+//! * the **primary** arm — the session's own incremental solver, with
+//!   whatever configuration it was built with (the modern adaptive-restart
+//!   setup by default), carrying all learnt knowledge from earlier queries;
+//! * a **diversified** arm — a throwaway solver over a snapshot of the
+//!   primary's current formula, configured with Luby fixed-schedule
+//!   restarts and no best-phase targeting ([`diversified_config`]), i.e. a
+//!   deliberately different search trajectory.
+//!
+//! The race is decided by deterministic conflict-budget rounds, not wall
+//! clock: the primary runs first in every round, the per-arm budget doubles
+//! each round ([`Solver::solve_limited`] suspends and resumes losslessly),
+//! and the first conclusive arm wins. Ties go to the primary because it
+//! always moves first. Most obligations conclude inside the primary's
+//! opening slice, in which case the diversified arm is never even built and
+//! the race is bit-identical to a plain `solve_with_assumptions` call.
+//!
+//! When the diversified arm wins, its verdict is *confirmed* by the
+//! primary: the winner's learnt clauses (all implied by the shared formula)
+//! flow back through [`Solver::export_learnt`]/[`Solver::import_clauses`]
+//! and the primary re-solves without a budget — usually a short
+//! propagation-driven confirmation. Models and UNSAT cores therefore always
+//! come from the primary, so downstream core minimisation and model decoding
+//! are oblivious to racing, and the deterministically-chosen winner of every
+//! race is the arm a [`hh_sat::proof::ProofSink`] would be attached to. The
+//! race itself is skipped while a proof sink is active (the caller's duty —
+//! see [`crate::AbductionConfig::portfolio`]): clause import is declined
+//! under proof logging, so racing could only burn budget, and a single-arm
+//! run keeps the DRAT stream trivially self-contained.
+
+use hh_sat::{Config, LimitedResult, Lit, RestartMode, SolveResult, Solver};
+
+/// Conflict budget of the opening (primary-only) race round.
+///
+/// Chosen so that the overwhelming majority of abduction obligations — a
+/// few hundred conflicts at most — conclude before the diversified arm is
+/// ever constructed, keeping the portfolio bit-identical to solo solving on
+/// easy streams while still bounding the time a pathological obligation can
+/// hold the primary configuration hostage.
+pub const DEFAULT_FIRST_SLICE: u64 = 2_000;
+
+/// Counters describing how one [`race`] unfolded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    /// 1 when the diversified arm was engaged (the primary did not conclude
+    /// within the opening slice), 0 otherwise.
+    pub races: u64,
+    /// 1 when the diversified arm concluded first and the primary merely
+    /// confirmed its verdict, 0 otherwise.
+    pub arm_wins: u64,
+}
+
+/// The diversified arm's solver configuration: Luby fixed-schedule restarts
+/// and no best-phase targeting, on top of the modern defaults. The point is
+/// a materially different search trajectory, not a better one.
+pub fn diversified_config() -> Config {
+    Config {
+        restart_mode: RestartMode::Luby,
+        save_best_phases: false,
+        ..Config::default()
+    }
+}
+
+/// Races `primary` against a lazily-built diversified arm on its own
+/// formula, under `assumptions`, with the default opening slice.
+///
+/// See the module docs for the protocol. On return the primary solver holds
+/// the concluding state — its model or its assumption core — exactly as if
+/// it had answered alone.
+pub fn race(primary: &mut Solver, assumptions: &[Lit]) -> (SolveResult, RaceReport) {
+    race_with(primary, assumptions, DEFAULT_FIRST_SLICE)
+}
+
+/// [`race`] with an explicit opening slice (tests use tiny slices to force
+/// the diversified arm into play on small formulas).
+pub fn race_with(
+    primary: &mut Solver,
+    assumptions: &[Lit],
+    first_slice: u64,
+) -> (SolveResult, RaceReport) {
+    let mut report = RaceReport::default();
+    let mut slice = first_slice.max(1);
+    // Opening round: the primary alone. Concluding here means the race
+    // never happened as far as solver state is concerned.
+    match primary.solve_limited(assumptions, slice) {
+        LimitedResult::Sat => return (SolveResult::Sat, report),
+        LimitedResult::Unsat => return (SolveResult::Unsat, report),
+        LimitedResult::Unknown => {}
+    }
+    report.races = 1;
+    let mut diversified = build_diversified(primary, assumptions);
+    loop {
+        slice = slice.saturating_mul(2);
+        // Primary moves first every round, so a round both arms could win
+        // is deterministically credited to the primary.
+        match primary.solve_limited(assumptions, slice) {
+            LimitedResult::Sat => return (SolveResult::Sat, report),
+            LimitedResult::Unsat => return (SolveResult::Unsat, report),
+            LimitedResult::Unknown => {}
+        }
+        match diversified.solve_limited(assumptions, slice) {
+            LimitedResult::Unknown => {}
+            verdict => {
+                report.arm_wins = 1;
+                // Flow the winner's knowledge back (units + learnt clauses,
+                // all implied by the shared formula), then let the primary
+                // confirm the verdict without a budget. Cores and models
+                // always come from the primary.
+                let learnt = diversified.export_learnt(|_| true);
+                primary.import_clauses(&learnt);
+                let confirmed = primary.solve_with_assumptions(assumptions);
+                debug_assert!(
+                    matches!(
+                        (verdict, confirmed),
+                        (LimitedResult::Sat, SolveResult::Sat)
+                            | (LimitedResult::Unsat, SolveResult::Unsat)
+                    ),
+                    "diversified arm and primary disagree on a shared formula"
+                );
+                return (confirmed, report);
+            }
+        }
+    }
+}
+
+/// Builds the diversified arm: a fresh solver over a snapshot of the
+/// primary's current formula (same variable numbering), with the
+/// assumption variables frozen so its own inprocessing can never eliminate
+/// them. Every clause of the snapshot is implied by the primary's original
+/// formula, so any clause the arm learns is too — which is what makes the
+/// flow-back import sound.
+fn build_diversified(primary: &Solver, assumptions: &[Lit]) -> Solver {
+    let mut s = Solver::with_config(diversified_config());
+    while s.num_vars() < primary.num_vars() {
+        s.new_var();
+    }
+    for l in assumptions {
+        s.freeze(l.var());
+    }
+    for clause in primary.formula_clauses() {
+        if !s.add_clause(&clause) {
+            break; // already unsat at level 0; solve_limited will say so
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_sat::Var;
+
+    /// Pigeonhole: `holes + 1` pigeons into `holes` holes — UNSAT, with
+    /// enough conflicts to exercise multi-round races at tiny slices.
+    fn php(solver: &mut Solver, holes: usize) {
+        let pigeons = holes + 1;
+        let vars: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+            .collect();
+        for p in &vars {
+            let clause: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+            solver.add_clause(&clause);
+        }
+        for (a, pa) in vars.iter().enumerate() {
+            for pb in vars.iter().skip(a + 1) {
+                for (va, vb) in pa.iter().zip(pb.iter()) {
+                    solver.add_clause(&[!va.positive(), !vb.positive()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn race_confirms_unsat_and_engages_arm_at_tiny_slices() {
+        let mut primary = Solver::new();
+        php(&mut primary, 7);
+        let (res, report) = race_with(&mut primary, &[], 1);
+        assert_eq!(res, SolveResult::Unsat);
+        assert_eq!(report.races, 1, "a 1-conflict opening slice must race");
+    }
+
+    #[test]
+    fn easy_queries_never_build_the_diversified_arm() {
+        let mut primary = Solver::new();
+        let a = primary.new_var().positive();
+        let b = primary.new_var().positive();
+        primary.add_clause(&[a, b]);
+        let (res, report) = race(&mut primary, &[!a]);
+        assert_eq!(res, SolveResult::Sat);
+        assert_eq!(report, RaceReport::default());
+        assert!(primary.model_value(b));
+    }
+
+    #[test]
+    fn race_core_matches_solo_core_on_assumption_unsat() {
+        // Build the same formula twice; race one, solo-solve the other, and
+        // require identical verdicts and cores even when the diversified
+        // arm is forced into the race.
+        let build = || {
+            let mut s = Solver::new();
+            php(&mut s, 6);
+            let sel: Vec<Lit> = (0..2).map(|_| s.new_var().positive()).collect();
+            for &l in &sel {
+                s.freeze(l.var());
+            }
+            s
+        };
+        let mut solo = build();
+        let mut raced = build();
+        let assumptions: Vec<Lit> = (0..2)
+            .map(|i| Var::from_index(solo.num_vars() - 2 + i).positive())
+            .collect();
+        let solo_res = solo.solve_with_assumptions(&assumptions);
+        let (race_res, _) = race_with(&mut raced, &assumptions, 1);
+        assert_eq!(solo_res, race_res);
+        assert_eq!(solo_res, SolveResult::Unsat);
+        // PHP is unsat on its own: both cores must be empty (no assumption
+        // participates), the strongest form of agreement.
+        assert_eq!(solo.unsat_core(), raced.unsat_core());
+    }
+}

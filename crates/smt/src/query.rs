@@ -28,7 +28,7 @@ pub enum EncodeScope {
 }
 
 /// Configuration for [`abduct`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct AbductionConfig {
     /// Shrink UNSAT cores to local minimality (biasing toward the weakest
     /// abduct, §3.2.3).
@@ -43,6 +43,31 @@ pub struct AbductionConfig {
     pub canonical_cores: bool,
     /// Encoding scope.
     pub scope: EncodeScope,
+    /// Race each obligation against a diversified solver arm (see
+    /// [`crate::portfolio`]): the session's solver runs first in doubling
+    /// conflict-budget slices; if it fails to conclude within the opening
+    /// slice, a second solver with a different restart/phase policy joins
+    /// the race and its learnt clauses flow back on a win. Deterministic —
+    /// no wall-clock involved. Automatically suspended for queries with a
+    /// proof sink attached so DRAT streams stay self-contained.
+    pub portfolio: bool,
+    /// Conflict budget of the opening (primary-only) portfolio round.
+    /// Queries concluding within this slice never build the diversified arm
+    /// and behave bit-identically to non-portfolio solving. Tests shrink it
+    /// to force races on small formulas.
+    pub portfolio_first_slice: u64,
+}
+
+impl Default for AbductionConfig {
+    fn default() -> AbductionConfig {
+        AbductionConfig {
+            minimize: false,
+            canonical_cores: false,
+            scope: EncodeScope::default(),
+            portfolio: false,
+            portfolio_first_slice: crate::portfolio::DEFAULT_FIRST_SLICE,
+        }
+    }
 }
 
 impl AbductionConfig {
@@ -51,8 +76,7 @@ impl AbductionConfig {
     pub fn paper_default() -> AbductionConfig {
         AbductionConfig {
             minimize: true,
-            canonical_cores: false,
-            scope: EncodeScope::Cone,
+            ..AbductionConfig::default()
         }
     }
 }
@@ -114,6 +138,19 @@ pub struct QueryTelemetry {
     pub cone_clauses_saved: usize,
     /// Learnt clauses imported from a signature-equal session's pool.
     pub imported_clauses: usize,
+    /// Chronological (one-level) backtracks the solver took during this
+    /// query instead of full non-chronological backjumps.
+    pub chrono_backtracks: u64,
+    /// Budgeted `solve_limited` rounds driven during this query (portfolio
+    /// racing slices; 0 for non-portfolio queries).
+    pub budget_rounds: u64,
+    /// Portfolio races engaged during this query: 1 when the session solver
+    /// failed to conclude within the opening budget slice and the
+    /// diversified arm joined in (0 when the query never raced).
+    pub portfolio_races: u64,
+    /// Races the diversified arm concluded first (its learnt clauses were
+    /// flowed back before the session solver confirmed the verdict).
+    pub portfolio_arm_wins: u64,
 }
 
 /// Result of an abduction query.

@@ -1,0 +1,137 @@
+//! Property tests for deterministic portfolio racing: on random CNF the
+//! race must agree with solo solving no matter which arm concludes first,
+//! the primary must hold a usable model or core afterwards, and the whole
+//! protocol must be invariant under repetition (determinism).
+
+use hh_sat::{Lit, SolveResult, Solver, Var};
+use hh_smt::portfolio::{race_with, RaceReport};
+use proptest::prelude::*;
+
+/// A random clause set over `num_vars` variables, as signed var indices.
+fn arb_cnf(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses)
+}
+
+fn build_solver(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for clause in clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+fn assumption_lits(num_vars: usize, pattern: u8, polarity: u8) -> Vec<Lit> {
+    (0..num_vars)
+        .filter(|i| (pattern >> i) & 1 == 1)
+        .map(|i| Var::from_index(i).lit((polarity >> i) & 1 == 1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The race verdict equals the solo verdict — the diversified arm can
+    /// only ever accelerate, never flip, the answer — and the primary holds
+    /// a model satisfying every clause (SAT) or a genuine assumption core
+    /// (UNSAT) afterwards.
+    #[test]
+    fn race_agrees_with_solo_at_forced_slices(
+        clauses in arb_cnf(8, 40),
+        pattern in 0u8..=255,
+        polarity in 0u8..=255,
+        slice in 1u64..4,
+    ) {
+        let assumptions = assumption_lits(8, pattern, polarity);
+        let mut solo = build_solver(8, &clauses);
+        for l in &assumptions {
+            solo.freeze(l.var());
+        }
+        let solo_res = solo.solve_with_assumptions(&assumptions);
+
+        let mut raced = build_solver(8, &clauses);
+        for l in &assumptions {
+            raced.freeze(l.var());
+        }
+        let (race_res, report) = race_with(&mut raced, &assumptions, slice);
+        prop_assert_eq!(race_res, solo_res);
+        prop_assert!(report.arm_wins <= report.races);
+
+        match race_res {
+            SolveResult::Sat => {
+                // The primary's model satisfies the original formula and
+                // respects the assumptions.
+                for clause in &clauses {
+                    let satisfied = clause
+                        .iter()
+                        .any(|&(v, pos)| raced.model_value(Var::from_index(v).lit(pos)));
+                    prop_assert!(satisfied, "unsatisfied clause in race model");
+                }
+                for &l in &assumptions {
+                    prop_assert!(raced.model_value(l));
+                }
+            }
+            SolveResult::Unsat => {
+                // The primary's core is a subset of the assumptions that is
+                // itself unsatisfiable — verified on an untouched solver.
+                let core = raced.unsat_core().to_vec();
+                prop_assert!(core.iter().all(|l| assumptions.contains(l)));
+                let mut check = build_solver(8, &clauses);
+                prop_assert_eq!(
+                    check.solve_with_assumptions(&core),
+                    SolveResult::Unsat
+                );
+            }
+        }
+    }
+
+    /// Racing is deterministic: two identical races produce the same
+    /// verdict, the same report, and the same core.
+    #[test]
+    fn race_is_deterministic(
+        clauses in arb_cnf(8, 40),
+        pattern in 0u8..=255,
+        slice in 1u64..4,
+    ) {
+        let assumptions = assumption_lits(8, pattern, 0);
+        let run = || {
+            let mut s = build_solver(8, &clauses);
+            for l in &assumptions {
+                s.freeze(l.var());
+            }
+            let (res, report) = race_with(&mut s, &assumptions, slice);
+            (res, report, s.unsat_core().to_vec())
+        };
+        let (r1, rep1, core1) = run();
+        let (r2, rep2, core2) = run();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(rep1, rep2);
+        prop_assert_eq!(core1, core2);
+    }
+
+    /// A huge opening slice means the race never engages: the run is the
+    /// plain solo run, arm never built, report all-zero.
+    #[test]
+    fn unengaged_race_is_bit_identical_to_solo(clauses in arb_cnf(8, 40)) {
+        let mut solo = build_solver(8, &clauses);
+        let solo_res = solo.solve_with_assumptions(&[]);
+        let solo_stats = solo.stats();
+
+        let mut raced = build_solver(8, &clauses);
+        let (race_res, report) = race_with(&mut raced, &[], u64::MAX);
+        prop_assert_eq!(race_res, solo_res);
+        prop_assert_eq!(report, RaceReport::default());
+        let race_stats = raced.stats();
+        prop_assert_eq!(race_stats.conflicts, solo_stats.conflicts);
+        prop_assert_eq!(race_stats.decisions, solo_stats.decisions);
+        prop_assert_eq!(race_stats.propagations, solo_stats.propagations);
+        if race_res == SolveResult::Sat {
+            for v in 0..8 {
+                let l = Var::from_index(v).positive();
+                prop_assert_eq!(raced.model_value(l), solo.model_value(l));
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@ struct Args {
     max_latency: usize,
     threads: usize,
     impl_predicates: bool,
+    portfolio: bool,
     certify: Option<String>,
 }
 
@@ -45,7 +46,7 @@ fn usage() -> ! {
          \x20               --observable <state>... --secret-reg <state>...\n\
          \x20               [--mask <valid>=<field>[,<field>...]]...\n\
          \x20               [--xlen N] [--max-latency N]\n\
-         \x20      common: [--threads N] [--impl-predicates] [--certify <dir>]"
+         \x20      common: [--threads N] [--impl-predicates] [--portfolio] [--certify <dir>]"
     );
     std::process::exit(2);
 }
@@ -78,6 +79,7 @@ fn parse_args() -> Args {
             "--max-latency" => args.max_latency = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--impl-predicates" => args.impl_predicates = true,
+            "--portfolio" => args.portfolio = true,
             "--certify" => args.certify = Some(val(&mut it)),
             "--help" | "-h" => usage(),
             other => {
@@ -176,16 +178,15 @@ fn main() -> ExitCode {
         design.netlist.num_inputs()
     );
 
-    let veloct = Veloct::with_config(
-        &design,
-        VeloctConfig {
-            threads: args.threads,
-            pairs_per_instr: 1,
-            impl_predicates: args.impl_predicates,
-            certify: args.certify.is_some(),
-            ..VeloctConfig::default()
-        },
-    );
+    let mut config = VeloctConfig {
+        threads: args.threads,
+        pairs_per_instr: 1,
+        impl_predicates: args.impl_predicates,
+        certify: args.certify.is_some(),
+        ..VeloctConfig::default()
+    };
+    config.engine.abduction.portfolio = args.portfolio;
+    let veloct = Veloct::with_config(&design, config);
     let t0 = std::time::Instant::now();
     let report = veloct.classify(&default_candidates());
     let elapsed = t0.elapsed();
