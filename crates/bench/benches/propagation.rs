@@ -14,8 +14,9 @@
 //!   bookkeeping and restarts all engage.
 //!
 //! Both run under the default (flat-arena, glucose, tiered, chronological
-//! backtracking) configuration, under the default with chronological
-//! backtracking disabled, and under `Config::seed_baseline()` so the
+//! backtracking, flat watch lists, vivification) configuration, under
+//! single-knob A/B arms (`modern_nochrono`, `modern_nested` — nested watch
+//! Vecs, `modern_novivify`), and under `Config::seed_baseline()` so the
 //! heuristic deltas are visible next to each other in the Criterion report.
 //! A third group, `*/portfolio_*`, A/Bs deterministic portfolio racing
 //! (DESIGN.md ablation 12): the ladder measures pure racing overhead (no
@@ -101,10 +102,30 @@ fn modern_nochrono() -> Config {
     }
 }
 
+/// The default configuration on the seed's nested `Vec<Vec<Watcher>>` watch
+/// lists — isolates the flat watch arena (DESIGN.md ablation 13a).
+fn modern_nested() -> Config {
+    Config {
+        flat_watches: false,
+        ..Config::default()
+    }
+}
+
+/// The default configuration with clause vivification turned off —
+/// isolates inprocessing strengthening (DESIGN.md ablation 13b).
+fn modern_novivify() -> Config {
+    Config {
+        vivify: false,
+        ..Config::default()
+    }
+}
+
 fn bench(c: &mut Criterion) {
     for (tag, config) in [
         ("modern", Config::default()),
         ("modern_nochrono", modern_nochrono()),
+        ("modern_nested", modern_nested()),
+        ("modern_novivify", modern_novivify()),
         ("seed_baseline", Config::seed_baseline()),
     ] {
         let (mut s, trigger) = ladder(config);
@@ -126,6 +147,8 @@ fn bench(c: &mut Criterion) {
     for (tag, config) in [
         ("modern", Config::default()),
         ("modern_nochrono", modern_nochrono()),
+        ("modern_nested", modern_nested()),
+        ("modern_novivify", modern_novivify()),
         ("seed_baseline", Config::seed_baseline()),
     ] {
         c.bench_function(&format!("search/{tag}"), |b| {

@@ -31,10 +31,11 @@
 //!   cost of the sink-absent branch times the number of proof events the
 //!   certified run's obligations record,
 //! * the flat-arena solver configuration (glucose restarts, tiered learnt
-//!   DB, best-phase saving — the default) must answer the scaled design's
-//!   assumption-query stream at least 10% faster than
-//!   `hh_sat::Config::seed_baseline()` (DESIGN.md ablation 11), with both
-//!   configurations returning identical answers, and
+//!   DB, best-phase saving, flat watch lists, clause vivification — the
+//!   default) must answer the scaled design's assumption-query stream at
+//!   least 15% faster than `hh_sat::Config::seed_baseline()` (DESIGN.md
+//!   ablations 11 and 13), with both configurations returning identical
+//!   answers, and
 //! * attaching a proof sink to that same stream must cost less than 2% of
 //!   the unlogged stream's wall-clock — measured as the per-event sink cost
 //!   times the stream's proof-event count (like the off-mode gates; the
@@ -71,8 +72,13 @@ const ROUNDS: usize = 5;
 /// Minimum acceptable fresh/session time ratio.
 const MIN_SPEEDUP: f64 = 1.5;
 /// Minimum acceptable seed-baseline/modern solver time ratio on the scaled
-/// design's assumption-query stream (DESIGN.md ablation 11).
+/// design's assumption-query stream for the raced configuration
+/// (DESIGN.md ablation 12).
 const MIN_ARENA_SPEEDUP: f64 = 1.10;
+/// Minimum acceptable seed-baseline/modern ratio for the plain (solo)
+/// stream now that the modern config also carries the flat watch arena and
+/// clause vivification (DESIGN.md ablation 13).
+const MIN_STREAM_SPEEDUP: f64 = 1.15;
 
 fn main() {
     let targets = all_targets();
@@ -143,6 +149,10 @@ fn main() {
     println!(
         "  sat     BVE {}, subsumed {}, strengthened {}, probed {}",
         sat.eliminated_vars, sat.subsumed_clauses, sat.strengthened_lits, sat.probed_units
+    );
+    println!(
+        "  vivify  {} literals removed, {} clauses deleted",
+        sat.vivified_lits, sat.vivified_deleted
     );
     println!(
         "  word    folds {}, rewrites {}, strash hits {}",
@@ -410,7 +420,10 @@ fn main() {
 
     // One stream = the abduction suffix sweep the engines actually issue:
     // assume cands[k..], solve, for every k. Deterministic, conflict-driven,
-    // identical for both configurations.
+    // identical for both configurations. (The stream is too short for
+    // `simplify_interval` to fire, so vivification's counters are reported
+    // from the explicit-simplify section above; this gate isolates the
+    // search and propagation layers — flat watches included.)
     let run_stream = |cfg: hh_sat::Config, proof: bool| {
         let mut s = hh_sat::Solver::with_config(cfg);
         while s.num_vars() < m_vars {
@@ -530,7 +543,7 @@ fn main() {
         "  seed    {seed_s:.3}s ({} propagations, {} conflicts, {} reduces)",
         seed_stats.propagations, seed_stats.conflicts, seed_stats.reduces
     );
-    println!("  speedup {arena_speedup:.2}x (gate: >= {MIN_ARENA_SPEEDUP}x)");
+    println!("  speedup {arena_speedup:.2}x (gate: >= {MIN_STREAM_SPEEDUP}x)");
     println!(
         "  chrono  {} chrono backtracks (modern stream)",
         modern_stats.chrono_backtracks
@@ -550,6 +563,10 @@ fn main() {
         modern_stats.reduce_time_us,
         modern_stats.compactions,
         modern_stats.restart_blocks
+    );
+    println!(
+        "  watch   store {} bytes (flat arena, long + binary)",
+        modern_stats.watch_bytes
     );
     println!(
         "  proof-on stream: {proof_on_s:.3}s end-to-end ({:+.2}% vs unlogged, noise-dominated)",
@@ -592,6 +609,7 @@ fn main() {
             modern_stats.restart_blocks as f64,
             "blocks",
         ),
+        ("sat.watch_bytes", modern_stats.watch_bytes as f64, "bytes"),
         ("arena_proof_on_s", proof_on_s, "s"),
         ("arena_proof_event_ns", proof_event_ns, "ns"),
         ("arena_proof_overhead_frac", stream_proof_overhead, "frac"),
@@ -637,6 +655,8 @@ fn main() {
         ("sat_subsumed_clauses", sat.subsumed_clauses, "clauses"),
         ("sat_strengthened_lits", sat.strengthened_lits, "lits"),
         ("sat_probed_units", sat.probed_units, "units"),
+        ("sat_vivified_lits", sat.vivified_lits, "lits"),
+        ("sat_vivified_deleted", sat.vivified_deleted, "clauses"),
         ("word_const_folds", word.const_folds, "nodes"),
         ("word_rewrites", word.rewrites, "nodes"),
         ("word_strash_hits", word.strash_hits, "nodes"),
@@ -762,9 +782,9 @@ fn main() {
         proof_overhead_frac * 100.0
     );
     assert!(
-        arena_speedup >= MIN_ARENA_SPEEDUP,
-        "arena solver does not beat the seed baseline: \
-         {arena_speedup:.2}x < {MIN_ARENA_SPEEDUP}x on the scaled design"
+        arena_speedup >= MIN_STREAM_SPEEDUP,
+        "vivified flat-watch solver does not beat the seed baseline: \
+         {arena_speedup:.2}x < {MIN_STREAM_SPEEDUP}x on the scaled design"
     );
     assert!(
         portfolio_speedup >= MIN_ARENA_SPEEDUP,

@@ -85,6 +85,13 @@ pub struct Stats {
     pub sat_arena_bytes: u64,
     /// Chronological (one-level) backtracks across all SAT queries.
     pub sat_chrono_backtracks: u64,
+    /// Literals removed from clauses by vivification across all SAT queries.
+    pub sat_vivified_lits: u64,
+    /// Clauses vivification deleted outright across all SAT queries.
+    pub sat_vivified_deleted: u64,
+    /// Peak watch-list footprint (bytes) observed across all sessions — a
+    /// high-water gauge like `sat_arena_bytes`.
+    pub sat_watch_bytes: u64,
     /// Budgeted `solve_limited` rounds driven across all SAT queries
     /// (portfolio racing slices).
     pub sat_budget_rounds: u64,
@@ -245,6 +252,9 @@ impl Stats {
         self.sat_reduces += t.reduces;
         self.sat_arena_bytes = self.sat_arena_bytes.max(t.arena_bytes);
         self.sat_chrono_backtracks += t.chrono_backtracks;
+        self.sat_vivified_lits += t.vivified_lits;
+        self.sat_vivified_deleted += t.vivified_deleted;
+        self.sat_watch_bytes = self.sat_watch_bytes.max(t.watch_bytes);
         self.sat_budget_rounds += t.budget_rounds;
         self.portfolio_races += t.portfolio_races;
         self.portfolio_arm_wins += t.portfolio_arm_wins;
@@ -333,6 +343,9 @@ impl Stats {
         self.sat_reduces += other.sat_reduces;
         self.sat_arena_bytes = self.sat_arena_bytes.max(other.sat_arena_bytes);
         self.sat_chrono_backtracks += other.sat_chrono_backtracks;
+        self.sat_vivified_lits += other.sat_vivified_lits;
+        self.sat_vivified_deleted += other.sat_vivified_deleted;
+        self.sat_watch_bytes = self.sat_watch_bytes.max(other.sat_watch_bytes);
         self.sat_budget_rounds += other.sat_budget_rounds;
         self.portfolio_races += other.portfolio_races;
         self.portfolio_arm_wins += other.portfolio_arm_wins;
@@ -382,6 +395,9 @@ impl Stats {
             ("sat.reduce", self.sat_reduces),
             ("sat.arena_bytes", self.sat_arena_bytes),
             ("sat.chrono_backtracks", self.sat_chrono_backtracks),
+            ("sat.vivified_lits", self.sat_vivified_lits),
+            ("sat.vivified_deleted", self.sat_vivified_deleted),
+            ("sat.watch_bytes", self.sat_watch_bytes),
             ("sat.budget_rounds", self.sat_budget_rounds),
             ("portfolio.races", self.portfolio_races),
             ("portfolio.arm_wins", self.portfolio_arm_wins),

@@ -31,8 +31,9 @@
 //!   [`Solver::add_clause`] and [`Solver::solve_with_assumptions`] freely.
 //! * Assumption-safe inprocessing: [`Solver::simplify`] runs SatELite-style
 //!   subsumption, self-subsuming resolution, bounded variable elimination
-//!   (with model reconstruction) and failed-literal probing, automatically
-//!   at a conflict-count cadence; [`Solver::freeze`] protects variables
+//!   (with model reconstruction), failed-literal probing and budgeted
+//!   clause vivification, automatically at a conflict-count cadence;
+//!   [`Solver::freeze`] protects variables
 //!   the caller will reference again, and clauses that mention an
 //!   eliminated variable transparently restore it.
 //! * [`minimize_core`] shrinks assumption cores to local minimality
@@ -54,6 +55,8 @@ mod minimize;
 mod occurs;
 mod probe;
 mod solver;
+mod vivify;
+mod watch;
 
 pub mod dimacs;
 pub mod proof;

@@ -27,6 +27,7 @@ use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::heap::VarOrderHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::ProofSink;
+use crate::watch::{WatchStore, Watcher};
 
 /// Truth value of `l` under `assigns`, as a free function so propagation can
 /// hold a mutable borrow of the clause arena at the same time.
@@ -158,6 +159,25 @@ pub struct Config {
     /// cone queries the hierarchical engine issues, so it should engage only
     /// when a conflict would throw away a genuinely long trail.
     pub chrono_threshold: u32,
+    /// Store all watch lists in one flat contiguous arena with per-literal
+    /// `(offset, len, cap)` headers instead of a `Vec` per literal, so the
+    /// propagation hot loop walks cache-linear slices. Relocation holes are
+    /// compacted periodically, piggybacked on the clause-arena GC. When off,
+    /// the seed solver's nested `Vec<Vec<_>>` layout is used.
+    pub flat_watches: bool,
+    /// Vivify long clauses during [`Solver::simplify`]: propagate each
+    /// candidate clause's negated literals at level 0 and use the resulting
+    /// implications/conflicts to delete satisfied-by-implication clauses and
+    /// strengthen the rest in place. All rewrites are DRAT-logged
+    /// (strengthened clause added before the original is deleted), so proof
+    /// streams stay independently checkable. When off, simplify performs no
+    /// vivification (the seed solver's behaviour).
+    pub vivify: bool,
+    /// Propagation budget per vivification pass: once a pass has spent this
+    /// many propagations, no further candidate clauses are started. The
+    /// budget is counted in propagations (not wall-clock), so identical
+    /// query sequences vivify identically (determinism).
+    pub vivify_budget: u64,
 }
 
 impl Default for Config {
@@ -183,6 +203,9 @@ impl Default for Config {
             use_blockers: true,
             chrono: true,
             chrono_threshold: 500,
+            flat_watches: true,
+            vivify: true,
+            vivify_budget: 10_000,
         }
     }
 }
@@ -191,11 +214,12 @@ impl Config {
     /// The seed solver's behaviour on the arena backend: Luby restarts, no
     /// best-phase targeting, a flat learnt DB (an empty mid tier, so
     /// everything above glue is reducible by activity, as the pre-arena
-    /// reduce did), binaries watched like ordinary clauses, and no blocker
-    /// short-circuit. The perf-gate baseline: comparing `Config::default()`
-    /// against this measures this PR's raw-speed features on identical
-    /// workloads, with the shared flat-arena layout as a conservative floor
-    /// (the real seed paid an extra pointer chase per clause on top).
+    /// reduce did), binaries watched like ordinary clauses, no blocker
+    /// short-circuit, nested per-literal watch `Vec`s, and no vivification.
+    /// The perf-gate baseline: comparing `Config::default()` against this
+    /// measures the raw-speed PRs' features on identical workloads, with the
+    /// shared flat clause-arena layout as a conservative floor (the real
+    /// seed paid an extra pointer chase per clause on top).
     pub fn seed_baseline() -> Config {
         Config {
             restart_mode: RestartMode::Luby,
@@ -204,12 +228,14 @@ impl Config {
             inline_binaries: false,
             use_blockers: false,
             chrono: false,
+            flat_watches: false,
+            vivify: false,
             ..Config::default()
         }
     }
 
     /// Checks the knobs for internal consistency, returning the first
-    /// violated rule. The 19 knobs otherwise accept silent nonsense
+    /// violated rule. The 22 knobs otherwise accept silent nonsense
     /// combinations (a core tier wider than the mid tier, decays outside
     /// `(0, 1)`, zero restart intervals); [`Solver::with_config`]
     /// debug-asserts this so misconfigurations fail loudly in tests rather
@@ -279,6 +305,9 @@ impl Config {
         if self.chrono_threshold == 0 {
             return Err("chrono_threshold must be nonzero".into());
         }
+        if self.vivify && self.vivify_budget == 0 {
+            return Err("vivify_budget must be nonzero while vivify is on".into());
+        }
         Ok(())
     }
 }
@@ -329,16 +358,15 @@ pub struct SolverStats {
     /// [`Solver::solve_limited`] calls — each is one budgeted round of a
     /// portfolio race (or any other caller-paced solve).
     pub budget_rounds: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Watcher {
-    cref: ClauseRef,
-    /// A literal of the clause other than the watched one; if it is already
-    /// true the clause needs no work (MiniSat's "blocker"). For binary
-    /// clauses the blocker is the *whole* other half of the clause, so the
-    /// fast path never loads the arena.
-    blocker: Lit,
+    /// Literals removed from clauses by vivification (see
+    /// [`Config::vivify`]).
+    pub vivified_lits: u64,
+    /// Clauses deleted outright by vivification (satisfied by implication at
+    /// level 0 or collapsed to a unit).
+    pub vivified_deleted: u64,
+    /// Current heap footprint of the watch lists in bytes — a gauge
+    /// refreshed after every solve, not a monotone counter.
+    pub watch_bytes: u64,
 }
 
 /// EMA smoothing for the average trail size at conflicts (restart
@@ -376,21 +404,22 @@ pub struct Solver {
     pub(crate) config: Config,
     pub(crate) db: ClauseDb,
     /// Watch lists for clauses of three or more literals, indexed by literal
-    /// code: `watches[p]` holds clauses that must be inspected when `p`
-    /// becomes true (they watch `!p`).
-    watches: Vec<Vec<Watcher>>,
+    /// code: list `p` holds clauses that must be inspected when `p` becomes
+    /// true (they watch `!p`). Flat-arena or nested layout per
+    /// [`Config::flat_watches`] (see [`crate::watch`]).
+    watches: WatchStore,
     /// Watch lists for binary clauses, processed before `watches`: the
     /// watcher's blocker is the implied literal, so the fast path needs no
     /// arena access at all.
-    bin_watches: Vec<Vec<Watcher>>,
+    bin_watches: WatchStore,
     pub(crate) assigns: Vec<LBool>,
     /// Saved phase per variable, used as the decision polarity.
     pub(crate) phase: Vec<bool>,
     /// Phases captured at the deepest trail of the current solve; restarts
     /// reset `phase` to this when [`Config::save_best_phases`] is on.
-    best_phase: Vec<bool>,
+    pub(crate) best_phase: Vec<bool>,
     /// Trail depth at which `best_phase` was captured (per solve).
-    best_trail: usize,
+    pub(crate) best_trail: usize,
     pub(crate) activity: Vec<f64>,
     var_inc: f64,
     clause_inc: f32,
@@ -467,11 +496,12 @@ impl Solver {
         if let Err(msg) = config.validate() {
             panic!("invalid hh-sat Config: {msg}");
         }
+        let flat = config.flat_watches;
         Solver {
             config,
             db: ClauseDb::new(),
-            watches: Vec::new(),
-            bin_watches: Vec::new(),
+            watches: WatchStore::new(flat),
+            bin_watches: WatchStore::new(flat),
             assigns: Vec::new(),
             phase: Vec::new(),
             best_phase: Vec::new(),
@@ -633,10 +663,10 @@ impl Solver {
         self.seen.push(false);
         self.frozen.push(false);
         self.eliminated.push(false);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
-        self.bin_watches.push(Vec::new());
-        self.bin_watches.push(Vec::new());
+        self.watches.add_lit();
+        self.watches.add_lit();
+        self.bin_watches.add_lit();
+        self.bin_watches.add_lit();
         self.lbd_levels.push(0);
         self.order.grow_to(self.assigns.len());
         self.order.insert(v, &self.activity);
@@ -778,9 +808,13 @@ impl Solver {
             self.stats.reduces,
             self.stats.arena_bytes,
             self.stats.chrono_backtracks,
+            self.stats.vivified_lits,
+            self.stats.vivified_deleted,
+            self.stats.watch_bytes,
         );
         let result = self.solve_internal(assumptions, budget);
         self.stats.arena_bytes = (self.db.arena_words() * 4) as u64;
+        self.stats.watch_bytes = self.watches.bytes() + self.bin_watches.bytes();
         if hh_trace::enabled() {
             hh_trace::counter!(
                 "sat",
@@ -801,6 +835,23 @@ impl Solver {
                 "sat",
                 "sat.chrono_backtracks",
                 self.stats.chrono_backtracks - before.5
+            );
+            hh_trace::counter!(
+                "sat",
+                "sat.vivified_lits",
+                self.stats.vivified_lits - before.6
+            );
+            hh_trace::counter!(
+                "sat",
+                "sat.vivified_deleted",
+                self.stats.vivified_deleted - before.7
+            );
+            // Like the arena size, the watch footprint is a gauge: the
+            // signed delta keeps the trace total equal to the live value.
+            hh_trace::counter!(
+                "sat",
+                "sat.watch_bytes",
+                self.stats.watch_bytes as i64 - before.8 as i64
             );
             if budget.is_some() {
                 hh_trace::counter!("sat", "sat.budget_rounds", 1u64);
@@ -960,6 +1011,15 @@ impl Solver {
             }
         }
         for cref in self.db.learnt_refs() {
+            // `learnt_refs` filters lazily-deleted slots, but keep an
+            // explicit guard: vivification and database reduction delete
+            // learnt clauses mid-session, and a stale ref slipping through
+            // here would leak a retracted clause into a shared pool. A
+            // *strengthened* clause is exported in its current (shorter)
+            // form, which is strictly more general — still implied.
+            if self.db.is_deleted(cref) {
+                continue;
+            }
             let lits = self.db.lits(cref);
             if lits
                 .iter()
@@ -1108,6 +1168,24 @@ impl Solver {
         }
         self.rebuild_watches();
         self.qhead = self.trail.len();
+        // Vivification runs last: it needs consistent watch lists (it
+        // propagates) and a clause set already scrubbed by the cheaper
+        // phases above, so its propagation budget is spent on clauses the
+        // other techniques could not touch.
+        if self.config.vivify {
+            if !self.vivify_clauses() {
+                return false;
+            }
+            // Vivified clauses shrink in place and deleted ones become
+            // arena garbage; if enough accumulated, compact again while
+            // only the (rebuilt-below) watch lists hold ClauseRefs.
+            if self.db.garbage_frac() >= self.config.compact_garbage_frac {
+                self.clear_watches();
+                self.compact_arena();
+                self.rebuild_watches();
+            }
+            self.qhead = self.trail.len();
+        }
         true
     }
 
@@ -1279,8 +1357,8 @@ impl Solver {
             // touching the clause arena. Enqueueing never mutates the list
             // being walked, so plain index iteration is safe.
             let mut bi = 0;
-            while bi < self.bin_watches[pc].len() {
-                let w = self.bin_watches[pc][bi];
+            while bi < self.bin_watches.len(pc) {
+                let w = self.bin_watches.get(pc, bi);
                 bi += 1;
                 match val(&self.assigns, w.blocker) {
                     LBool::True => {}
@@ -1292,17 +1370,22 @@ impl Solver {
                 }
             }
 
-            let mut ws = std::mem::take(&mut self.watches[pc]);
+            // Long-clause walk, compacting kept watchers in place with an
+            // i/j index pair. A relocated watcher is only ever pushed to a
+            // *different* literal's list (the new watch is non-false, `!p`
+            // is false), so the list being walked never grows underneath
+            // the snapshot length.
             let mut conflict = None;
+            let n = self.watches.len(pc);
             let mut i = 0;
             let mut j = 0;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
+            'watchers: while i < n {
+                let w = self.watches.get(pc, i);
                 i += 1;
                 // Blocker check before any arena load: if some other
                 // literal of the clause is already true, keep the watcher.
                 if use_blockers && val(&self.assigns, w.blocker) == LBool::True {
-                    ws[j] = w;
+                    self.watches.set(pc, j, w);
                     j += 1;
                     continue;
                 }
@@ -1317,10 +1400,14 @@ impl Solver {
                 debug_assert_eq!(lits[1], false_lit);
                 let first = lits[0];
                 if first != w.blocker && val(&self.assigns, first) == LBool::True {
-                    ws[j] = Watcher {
-                        cref,
-                        blocker: first,
-                    };
+                    self.watches.set(
+                        pc,
+                        j,
+                        Watcher {
+                            cref,
+                            blocker: first,
+                        },
+                    );
                     j += 1;
                     continue;
                 }
@@ -1334,17 +1421,24 @@ impl Solver {
                     }
                 }
                 if let Some(nw) = new_watch {
-                    self.watches[(!nw).code()].push(Watcher {
-                        cref,
-                        blocker: first,
-                    });
+                    self.watches.push(
+                        (!nw).code(),
+                        Watcher {
+                            cref,
+                            blocker: first,
+                        },
+                    );
                     continue 'watchers;
                 }
                 // Clause is satisfied by `first`, unit, or conflicting.
-                ws[j] = Watcher {
-                    cref,
-                    blocker: first,
-                };
+                self.watches.set(
+                    pc,
+                    j,
+                    Watcher {
+                        cref,
+                        blocker: first,
+                    },
+                );
                 j += 1;
                 match val(&self.assigns, first) {
                     // Reachable only with `use_blockers` off (the pre-load
@@ -1357,16 +1451,16 @@ impl Solver {
                         conflict = Some(cref);
                         self.qhead = self.trail.len();
                         // Copy remaining watchers back.
-                        while i < ws.len() {
-                            ws[j] = ws[i];
+                        while i < n {
+                            let w = self.watches.get(pc, i);
+                            self.watches.set(pc, j, w);
                             j += 1;
                             i += 1;
                         }
                     }
                 }
             }
-            ws.truncate(j);
-            self.watches[pc] = ws;
+            self.watches.truncate(pc, j);
             if conflict.is_some() {
                 return conflict;
             }
@@ -1665,16 +1759,33 @@ impl Solver {
         lbd_of(&self.level, &mut self.lbd_levels, &mut self.lbd_stamp, lits)
     }
 
-    fn attach(&mut self, cref: ClauseRef) {
+    pub(crate) fn attach(&mut self, cref: ClauseRef) {
         let lits = self.db.lits(cref);
         let (l0, l1, binary) = (lits[0], lits[1], lits.len() == 2);
         if binary && self.config.inline_binaries {
-            self.bin_watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-            self.bin_watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+            self.bin_watches
+                .push((!l0).code(), Watcher { cref, blocker: l1 });
+            self.bin_watches
+                .push((!l1).code(), Watcher { cref, blocker: l0 });
         } else {
-            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+            self.watches
+                .push((!l0).code(), Watcher { cref, blocker: l1 });
+            self.watches
+                .push((!l1).code(), Watcher { cref, blocker: l0 });
         }
+    }
+
+    /// Removes a long clause's two watchers from the main watch lists
+    /// (vivification detaches a candidate before probing it so its own
+    /// watchers cannot propagate it against itself). The clause must be
+    /// live, of size ≥ 3, and currently attached — its watched literals are
+    /// `lits[0]` and `lits[1]` by the propagation invariant.
+    pub(crate) fn detach_long(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        let r0 = self.watches.remove_first((!l0).code(), cref);
+        let r1 = self.watches.remove_first((!l1).code(), cref);
+        debug_assert!(r0 && r1, "detach of unattached clause {cref:?}");
     }
 
     // ------------------------------------------------------------------
@@ -1799,23 +1910,24 @@ impl Solver {
     }
 
     fn clear_watches(&mut self) {
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for w in &mut self.bin_watches {
-            w.clear();
-        }
+        self.watches.clear();
+        self.bin_watches.clear();
     }
 
     /// Drops watchers that point at deleted clauses, leaving live watchers
-    /// in place. Cheaper than a full rebuild after a reduction round.
+    /// in place. Cheaper than a full rebuild after a reduction round. In
+    /// flat mode, compacts a watch arena whose relocation holes have come
+    /// to dominate it — piggybacked here because this is the clause-GC
+    /// call site where the lists are already being rewritten.
     fn scrub_watches(&mut self) {
         let db = &self.db;
-        for w in &mut self.watches {
-            w.retain(|x| !db.is_deleted(x.cref));
+        self.watches.retain(|x| !db.is_deleted(x.cref));
+        self.bin_watches.retain(|x| !db.is_deleted(x.cref));
+        if self.watches.should_compact() {
+            self.watches.compact();
         }
-        for w in &mut self.bin_watches {
-            w.retain(|x| !db.is_deleted(x.cref));
+        if self.bin_watches.should_compact() {
+            self.bin_watches.compact();
         }
     }
 
@@ -1827,16 +1939,10 @@ impl Solver {
         for cref in self.reason.iter_mut().flatten() {
             *cref = ClauseDb::remap_ref(&remap, *cref);
         }
-        for w in &mut self.watches {
-            for x in w.iter_mut() {
-                x.cref = ClauseDb::remap_ref(&remap, x.cref);
-            }
-        }
-        for w in &mut self.bin_watches {
-            for x in w.iter_mut() {
-                x.cref = ClauseDb::remap_ref(&remap, x.cref);
-            }
-        }
+        self.watches
+            .for_each_mut(|x| x.cref = ClauseDb::remap_ref(&remap, x.cref));
+        self.bin_watches
+            .for_each_mut(|x| x.cref = ClauseDb::remap_ref(&remap, x.cref));
     }
 
     pub(crate) fn rebuild_watches(&mut self) {
@@ -1844,6 +1950,14 @@ impl Solver {
         let refs: Vec<ClauseRef> = self.db.live_refs().collect();
         for cref in refs {
             self.attach(cref);
+        }
+        // A full rebuild repopulates the same lists, so the flat regions are
+        // mostly reused; compact only if relocation holes still dominate.
+        if self.watches.should_compact() {
+            self.watches.compact();
+        }
+        if self.bin_watches.should_compact() {
+            self.bin_watches.compact();
         }
     }
 
@@ -1911,8 +2025,8 @@ impl Solver {
     pub fn debug_check_watches(&self) -> Result<(), String> {
         use std::collections::HashMap;
         let mut count: HashMap<u32, Vec<Lit>> = HashMap::new();
-        for (code, list) in self.watches.iter().enumerate() {
-            for w in list {
+        for code in 0..self.watches.num_codes() {
+            for w in self.watches.slice(code) {
                 if self.db.is_deleted(w.cref) {
                     return Err(format!("watcher on deleted clause {:?}", w.cref));
                 }
@@ -1925,8 +2039,8 @@ impl Solver {
                     .push(!Lit::from_code(code));
             }
         }
-        for (code, list) in self.bin_watches.iter().enumerate() {
-            for w in list {
+        for code in 0..self.bin_watches.num_codes() {
+            for w in self.bin_watches.slice(code) {
                 if self.db.is_deleted(w.cref) {
                     return Err(format!("bin watcher on deleted clause {:?}", w.cref));
                 }
@@ -2485,9 +2599,202 @@ mod tests {
                 chrono_threshold: 0,
                 ..Config::default()
             },
+            Config {
+                vivify: true,
+                vivify_budget: 0,
+                ..Config::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "accepted nonsense config: {c:?}");
+        }
+    }
+
+    #[test]
+    fn seed_baseline_round_trips_the_seed_solver_shape() {
+        // The baseline must recreate the pre-raw-speed-PRs solver: nested
+        // per-literal watch Vecs and no vivification (plus the restart/DB
+        // shape asserted alongside), and it must stay a valid config.
+        let base = Config::seed_baseline();
+        assert_eq!(base.validate(), Ok(()));
+        assert!(!base.flat_watches);
+        assert!(!base.vivify);
+        assert!(!base.inline_binaries);
+        assert!(!base.use_blockers);
+        assert!(!base.chrono);
+        assert!(!base.save_best_phases);
+        assert_eq!(base.restart_mode, RestartMode::Luby);
+        assert_eq!(base.tier2_lbd, base.core_lbd);
+        // Every knob the baseline does not pin matches the modern default,
+        // so A/B runs differ only in the features under test.
+        let modern = Config::default();
+        assert!(modern.flat_watches && modern.vivify);
+        assert_eq!(base.vivify_budget, modern.vivify_budget);
+        assert_eq!(base.simplify_interval, modern.simplify_interval);
+        assert_eq!(base.compact_garbage_frac, modern.compact_garbage_frac);
+        // And a baseline solver actually solves.
+        let mut s = Solver::with_config(base);
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        s.add_clause(&[a, b]);
+        s.add_clause(&[!a, b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn vivify_strengthens_via_propagation() {
+        // Candidate (c ∨ a ∨ b) with chain c ∨ d, ¬d ∨ a: assuming ¬c
+        // propagates d then a, so scanning hits a true literal and the
+        // candidate strengthens to (c ∨ a). Variables are created in
+        // sorted-candidate order (add_clause sorts) and all frozen so BVE
+        // cannot pre-empt the vivifier by resolving d away.
+        let mut s = Solver::new();
+        let c = s.new_var().positive();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let d = s.new_var().positive();
+        for v in [a, b, c, d] {
+            s.freeze(v.var());
+        }
+        s.add_clause(&[c, a, b]);
+        s.add_clause(&[c, d]);
+        s.add_clause(&[!d, a]);
+        assert!(s.simplify());
+        let st = s.stats();
+        assert!(st.vivified_lits >= 1, "stats: {st:?}");
+        // The strengthened clause is binding: ¬c ∧ ¬a is now two falsified
+        // literals of a binary clause.
+        assert_eq!(s.solve_with_assumptions(&[!c, !a]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[!c, !d]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn vivify_off_leaves_clauses_alone() {
+        let cfg = Config {
+            vivify: false,
+            ..Config::default()
+        };
+        let mut s = Solver::with_config(cfg);
+        let c = s.new_var().positive();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let d = s.new_var().positive();
+        for v in [a, b, c, d] {
+            s.freeze(v.var());
+        }
+        s.add_clause(&[c, a, b]);
+        s.add_clause(&[c, d]);
+        s.add_clause(&[!d, a]);
+        assert!(s.simplify());
+        assert_eq!(s.stats().vivified_lits, 0);
+        assert_eq!(s.stats().vivified_deleted, 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn vivify_logs_checkable_rewrites() {
+        // Same instance as `vivify_strengthens_via_propagation`, with a
+        // recording sink: the strengthened clause must be added before the
+        // original is deleted (the DRAT order hh-proof checks).
+        let events = ProofEvents::default();
+        let mut s = Solver::new();
+        s.set_proof_sink(Box::new(RecordingSink {
+            events: events.clone(),
+        }));
+        let c = s.new_var().positive();
+        let a = s.new_var().positive();
+        let b = s.new_var().positive();
+        let d = s.new_var().positive();
+        for v in [a, b, c, d] {
+            s.freeze(v.var());
+        }
+        s.add_clause(&[c, a, b]);
+        s.add_clause(&[c, d]);
+        s.add_clause(&[!d, a]);
+        assert!(s.simplify());
+        assert!(s.stats().vivified_lits >= 1);
+        let log = events.lock().unwrap().clone();
+        let add_pos = log
+            .iter()
+            .position(|(is_delete, lits)| !*is_delete && lits.as_slice() == [c, a])
+            .expect("strengthened clause was logged");
+        let del_pos = log
+            .iter()
+            .position(|(is_delete, lits)| *is_delete && lits.as_slice() == [c, a, b])
+            .expect("original clause deletion was logged");
+        assert!(add_pos < del_pos, "add must precede delete: {log:?}");
+    }
+
+    #[test]
+    fn export_after_vivify_and_compaction_stays_sound() {
+        // Learn clauses, let vivification/compaction rewrite the learnt DB,
+        // then export: nothing exported may reference a deleted slot, and
+        // replaying the export into a twin must not change any verdict.
+        let clauses = random_3cnf(50, 205, 0xE1);
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..50).map(|_| s.new_var()).collect();
+        for v in &vars {
+            s.freeze(*v);
+        }
+        for cl in &clauses {
+            s.add_clause(cl);
+        }
+        let expected = s.solve();
+        assert!(s.simplify(), "formula stayed satisfiable at top level");
+        s.debug_force_compact();
+        let exported = s.export_learnt(|_| true);
+        for cl in &exported {
+            assert!(!cl.is_empty(), "deleted slot leaked into export");
+        }
+        let mut twin = Solver::new();
+        for _ in 0..50 {
+            twin.new_var();
+        }
+        for cl in &clauses {
+            twin.add_clause(cl);
+        }
+        twin.import_clauses(&exported);
+        assert_eq!(twin.solve(), expected);
+        for v in vars.iter().take(8) {
+            let a = [v.positive()];
+            assert_eq!(
+                s.solve_with_assumptions(&a),
+                twin.solve_with_assumptions(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn flat_and_nested_watches_agree_on_random_3cnf() {
+        for seed in [3u64, 17, 99] {
+            let clauses = random_3cnf(60, 240, seed);
+            let mut flat = Solver::new();
+            let mut nested = Solver::with_config(Config {
+                flat_watches: false,
+                ..Config::default()
+            });
+            for _ in 0..60 {
+                flat.new_var();
+                nested.new_var();
+            }
+            for cl in &clauses {
+                flat.add_clause(cl);
+                nested.add_clause(cl);
+            }
+            // The layout is invisible to the search: identical verdicts and
+            // identical conflict counts (the propagation order is the same).
+            let rf = flat.solve();
+            let rn = nested.solve();
+            assert_eq!(rf, rn, "seed {seed}");
+            assert_eq!(
+                flat.stats().conflicts,
+                nested.stats().conflicts,
+                "seed {seed}"
+            );
+            flat.debug_check_watches().unwrap();
+            nested.debug_check_watches().unwrap();
         }
     }
 

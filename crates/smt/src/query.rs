@@ -151,6 +151,14 @@ pub struct QueryTelemetry {
     /// Races the diversified arm concluded first (its learnt clauses were
     /// flowed back before the session solver confirmed the verdict).
     pub portfolio_arm_wins: u64,
+    /// Literals removed from clauses by vivification during this query.
+    pub vivified_lits: u64,
+    /// Clauses vivification deleted outright during this query (satisfied
+    /// by implication at level 0 or collapsed to a unit).
+    pub vivified_deleted: u64,
+    /// Watch-list footprint (bytes) of the session's solver after this
+    /// query — a gauge, not a delta.
+    pub watch_bytes: u64,
 }
 
 /// Result of an abduction query.

@@ -455,6 +455,9 @@ impl<'a> AbductionSession<'a> {
                 budget_rounds: after.budget_rounds - before.budget_rounds,
                 portfolio_races: race.races,
                 portfolio_arm_wins: race.arm_wins,
+                vivified_lits: after.vivified_lits - before.vivified_lits,
+                vivified_deleted: after.vivified_deleted - before.vivified_deleted,
+                watch_bytes: after.watch_bytes,
             },
         }
     }
@@ -728,6 +731,72 @@ mod tests {
         assert_eq!(r2.abduct, fresh.abduct);
         // Staging again after a solve is a no-op.
         assert_eq!(s2.stage_imports(), 0);
+    }
+
+    #[test]
+    fn pool_export_survives_vivification_and_compaction() {
+        // Regression: a session solver that vivified (deleting and
+        // strengthening learnt clauses) and compacted its arena must still
+        // export a sound pool — no stale refs (empty or dead clauses), and
+        // a signature-equal importer answers exactly as before.
+        use hh_sat::Var;
+        let num_vars = 40usize;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        let mut state = 0xBEEF_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for _ in 0..165 {
+            let mut c: Vec<Lit> = Vec::new();
+            while c.len() < 3 {
+                let v = Var::from_index((next() % num_vars as u64) as usize);
+                if c.iter().all(|l| l.var() != v) {
+                    c.push(v.lit(next() & 1 == 0));
+                }
+            }
+            clauses.push(c);
+        }
+        let build = || {
+            let mut s = Solver::new();
+            for _ in 0..num_vars {
+                let v = s.new_var();
+                s.freeze(v);
+            }
+            for cl in &clauses {
+                s.add_clause(cl);
+            }
+            s
+        };
+        let mut exporter = build();
+        let expected = exporter.solve();
+        assert!(exporter.simplify());
+        exporter.debug_force_compact();
+
+        let (_base, m) = and_gate();
+        let cache = EncodeCache::new(m.netlist());
+        let key = vec![0xD15Cu64];
+        let absorbed =
+            cache.export_to_pool_with(&key, |absorb| exporter.export_learnt_with(|_| true, absorb));
+        let pooled = cache.pool_snapshot(&key);
+        assert_eq!(pooled.len(), absorbed);
+        for cl in &pooled {
+            assert!(!cl.is_empty(), "stale/deleted clause leaked into pool");
+        }
+        let mut importer = build();
+        importer.import_clauses(&pooled);
+        assert_eq!(importer.solve(), expected);
+        for i in 0..6 {
+            let a = [Var::from_index(i).positive()];
+            let mut fresh = build();
+            assert_eq!(
+                importer.solve_with_assumptions(&a),
+                fresh.solve_with_assumptions(&a),
+                "imported pool changed a verdict"
+            );
+        }
     }
 
     #[test]
