@@ -42,7 +42,7 @@ use crate::store::{PredId, PredicateStore};
 use crate::{EngineConfig, Invariant, Stats, TaskRecord};
 use hh_netlist::coi::Coi;
 use hh_netlist::Netlist;
-use hh_smt::{AbductionResult, AbductionSession, Predicate};
+use hh_smt::{AbductionResult, AbductionSession, EncodeCache, Predicate};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc;
@@ -76,6 +76,13 @@ pub struct ParallelEngine<'a, M: Miner> {
     /// Live abduction sessions, keyed by target. Sessions travel to the
     /// worker with the job and come back with the result.
     sessions: SessionCache<'a>,
+    /// Externally owned warm [`EncodeCache`] (a resident service keeps one
+    /// across requests); when set, [`ParallelEngine::learn`] uses it instead
+    /// of building a per-run cache. See [`ParallelEngine::set_encode_cache`].
+    warm_cache: Option<Arc<EncodeCache>>,
+    /// Targets whose memo entry was preloaded via
+    /// [`ParallelEngine::seed_solutions`] rather than solved in this engine.
+    seeded: HashSet<PredId>,
     stats: Stats,
 }
 
@@ -123,8 +130,59 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             failed: HashSet::new(),
             discoverer: HashMap::new(),
             sessions: SessionCache::new(),
+            warm_cache: None,
+            seeded: HashSet::new(),
             stats: Stats::default(),
         }
+    }
+
+    /// Attaches an externally owned, warm [`EncodeCache`] (encoding replay
+    /// streams + per-signature learnt-clause pools). [`ParallelEngine::learn`]
+    /// then shares it across this run's sessions *instead of* building a
+    /// fresh per-run cache, and leaves it populated afterwards — this is how
+    /// a resident service (`hh-serve`) keeps blasting work warm across
+    /// requests. Replayed encodings are byte-identical to fresh builds and
+    /// imported clauses are consequences of the shared base formula, so the
+    /// learned invariant is unaffected; only timing and the cache's
+    /// cumulative counters change. The cache must have been built over a
+    /// netlist identical in content to this engine's.
+    pub fn set_encode_cache(&mut self, cache: Arc<EncodeCache>) {
+        self.warm_cache = Some(cache);
+    }
+
+    /// Preloads the memo table with solutions from an earlier run over an
+    /// identical-content netlist: each `(target, premises)` pair is the
+    /// abduct that made `target` relatively inductive. Seeded targets are
+    /// never re-solved (their premises are still scheduled, so invalidated
+    /// or missing sub-solutions are re-learned and the usual stale sweep
+    /// applies if one fails). Callers are responsible for only seeding
+    /// entries whose obligation is unchanged — a resident service checks
+    /// renaming-invariant cone signatures before seeding. Returns the
+    /// number of entries seeded.
+    pub fn seed_solutions(&mut self, solutions: &[(Predicate, Vec<Predicate>)]) -> usize {
+        let mut n = 0usize;
+        for (target, premises) in solutions {
+            let p = self.store.intern(target.clone());
+            let ab: Vec<PredId> = premises
+                .iter()
+                .map(|q| self.store.intern(q.clone()))
+                .collect();
+            self.memo.insert(p, ab);
+            self.seeded.insert(p);
+            n += 1;
+        }
+        n
+    }
+
+    /// How many seeded memo entries survived the most recent learn call
+    /// (i.e. were *reused*: still present in the final solution table, not
+    /// swept stale and re-solved). `seeded - seeds_reused()` entries were
+    /// invalidated during the run.
+    pub fn seeds_reused(&self) -> usize {
+        self.seeded
+            .iter()
+            .filter(|p| self.memo.contains_key(p))
+            .count()
     }
 
     /// Telemetry of the most recent learn call.
@@ -170,7 +228,12 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
         let use_sessions = self.config.sessions;
         let cone_cache = self.config.cone_cache;
         let clause_transfer = self.config.clause_transfer;
-        let encode_cache = self.config.make_encode_cache(netlist);
+        // A warm cache (resident service) takes precedence over the per-run
+        // cache; it outlives this call and keeps its recorded encodings.
+        let encode_cache = self
+            .warm_cache
+            .clone()
+            .or_else(|| self.config.make_encode_cache(netlist));
         let workers = self.threads.max(1);
         let coi = Coi::new(netlist);
         let mut weights: HashMap<PredId, u64> = HashMap::new();
@@ -230,6 +293,29 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                     .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(p)));
                 queue.push((w, Reverse(seq), p));
                 seq += 1;
+            }
+            // Seeded memo entries short-circuit their own solve, but their
+            // premises must still be scheduled: a premise whose entry was
+            // invalidated (or never seeded) has to be re-learned before
+            // `assemble` walks through it. Enqueue every seeded premise in
+            // deterministic (target, position) order; already-memoised ones
+            // are skipped at issue, exactly like memo hits.
+            if !self.seeded.is_empty() {
+                let mut seeded: Vec<PredId> = self.seeded.iter().copied().collect();
+                seeded.sort_unstable();
+                for p in seeded {
+                    let Some(ab) = self.memo.get(&p).cloned() else {
+                        continue;
+                    };
+                    for q in ab {
+                        self.discoverer.entry(q).or_insert(None);
+                        let w = *weights
+                            .entry(q)
+                            .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(q)));
+                        queue.push((w, Reverse(seq), q));
+                        seq += 1;
+                    }
+                }
             }
             let mut metas: Vec<JobMeta> = Vec::new();
             let mut reorder: BTreeMap<usize, JobDone<'a>> = BTreeMap::new();
@@ -310,6 +396,9 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                     hh_trace::counter!("engine", "engine.backtrack", stale.len());
                     for s in stale {
                         self.memo.remove(&s);
+                        // A swept seed was *not* reused — its re-solve below
+                        // is fresh work and must be accounted as such.
+                        self.seeded.remove(&s);
                         let w = *weights
                             .entry(s)
                             .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(s)));

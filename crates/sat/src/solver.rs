@@ -146,7 +146,7 @@ pub struct Config {
     /// backtracks a single level instead, keeping the (still consistent)
     /// deeper partial assignment. The asserting literal is then assigned at
     /// its true assertion level, which leaves out-of-order entries on the
-    /// trail; [`Solver::cancel_until`], conflict analysis and UNSAT-core
+    /// trail; `Solver::cancel_until`, conflict analysis and UNSAT-core
     /// extraction all account for them. When off, every conflict backjumps
     /// (the seed solver's behaviour).
     pub chrono: bool,

@@ -1,0 +1,8 @@
+//! The `veloct` binary: batch pipeline plus `serve` / `connect` daemon
+//! subcommands. All logic lives in [`hh_serve::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    hh_serve::cli::main()
+}

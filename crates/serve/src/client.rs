@@ -1,0 +1,178 @@
+//! A thin synchronous client for the serve protocol.
+//!
+//! The client owns request-id allocation and the version field; callers
+//! build op-specific payloads as [`Json`] objects and get the raw response
+//! back. Typed convenience wrappers cover the common ops.
+
+use crate::json::Json;
+use crate::proto::{read_frame, write_frame, FrameError, PROTOCOL_VERSION};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    stream: Stream,
+    next_id: i64,
+}
+
+/// A client-side failure: transport errors or a server `ok:false` reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failed.
+    Io(std::io::Error),
+    /// The server closed the connection or sent an unreadable frame.
+    Frame(String),
+    /// The server answered `ok:false`; `(code, msg)` from the error object.
+    Server(String, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(code, msg) => write!(f, "server error [{code}]: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true).ok();
+        Ok(Client {
+            stream: Stream::Tcp(s),
+            next_id: 1,
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: Stream::Unix(std::os::unix::net::UnixStream::connect(path)?),
+            next_id: 1,
+        })
+    }
+
+    /// Connects to `spec`: a filesystem path (Unix socket) if it contains a
+    /// `/`, otherwise a TCP `host:port`.
+    pub fn connect(spec: &str) -> Result<Client, ClientError> {
+        #[cfg(unix)]
+        if spec.contains('/') {
+            return Client::connect_unix(Path::new(spec));
+        }
+        Client::connect_tcp(spec)
+    }
+
+    /// Sends `op` with the given payload fields and returns the verified
+    /// response: version and echoed id are checked, `ok:false` becomes
+    /// [`ClientError::Server`].
+    pub fn request(&mut self, op: &str, fields: Vec<(&str, Json)>) -> Result<Json, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut pairs = vec![
+            ("v", Json::Int(PROTOCOL_VERSION)),
+            ("id", Json::Int(id)),
+            ("op", Json::Str(op.to_string())),
+        ];
+        pairs.extend(fields);
+        write_frame(&mut self.stream, &Json::obj(pairs))?;
+        let resp = match read_frame(&mut self.stream) {
+            Ok(r) => r,
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e) => return Err(ClientError::Frame(e.to_string())),
+        };
+        if resp.get("id").and_then(Json::as_i64) != Some(id) {
+            return Err(ClientError::Frame(format!(
+                "response id does not echo request id {id}"
+            )));
+        }
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            return Ok(resp);
+        }
+        let (code, msg) = match resp.get("error") {
+            Some(e) => (
+                e.get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("internal")
+                    .to_string(),
+                e.get("msg")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ),
+            None => (
+                "internal".to_string(),
+                "malformed error response".to_string(),
+            ),
+        };
+        Err(ClientError::Server(code, msg))
+    }
+
+    /// `status` round trip.
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        self.request("status", vec![])
+    }
+
+    /// `flush` round trip.
+    pub fn flush(&mut self, scope: &str, design: Option<&str>) -> Result<Json, ClientError> {
+        let mut fields = vec![("scope", Json::Str(scope.to_string()))];
+        if let Some(d) = design {
+            fields.push(("design", Json::Str(d.to_string())));
+        }
+        self.request("flush", fields)
+    }
+
+    /// `checkpoint` round trip.
+    pub fn checkpoint(&mut self) -> Result<Json, ClientError> {
+        self.request("checkpoint", vec![])
+    }
+
+    /// `shutdown` round trip. The server checkpoints and stops accepting
+    /// after acknowledging.
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.request("shutdown", vec![])
+    }
+}

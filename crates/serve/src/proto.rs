@@ -1,0 +1,213 @@
+//! The serve wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! This module is the normative implementation of `docs/SERVE.md` §2–§4.
+//! A frame is a 4-byte big-endian unsigned length followed by exactly that
+//! many bytes of UTF-8 JSON. Requests carry `v` (protocol version), `id`
+//! (client-chosen echo token) and `op`; responses echo both and report
+//! either `ok:true` with op-specific fields or `ok:false` with a structured
+//! error. See [`ErrorCode`] for the closed error vocabulary.
+
+use crate::json::Json;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build. Versioning rule (SERVE.md §4):
+/// the major version is bumped on any change that removes or re-types an
+/// existing field; additions of optional request fields or new response
+/// fields are compatible and do not bump it. A server receiving a frame
+/// whose `v` differs from its own MUST answer `bad-version` and leave the
+/// connection open.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Hard cap on a frame body. Large enough for an inlined btor2 design and
+/// a full invariant listing; small enough that a corrupt length prefix
+/// cannot trigger a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Closed set of protocol error codes (SERVE.md §3.7). Codes are stable
+/// strings: clients may match on them, messages are advisory prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON, or not a JSON object.
+    BadJson,
+    /// The `v` field is missing or differs from [`PROTOCOL_VERSION`].
+    BadVersion,
+    /// The request is structurally invalid: unknown `op`, missing or
+    /// ill-typed required field.
+    BadRequest,
+    /// The design specification could not be built (unknown builtin,
+    /// btor2 parse failure, missing annotation, unknown state name).
+    BadDesign,
+    /// The request names a design key the server has never seen.
+    UnknownDesign,
+    /// `verify` was issued for a job with no prior successful `learn` to
+    /// re-verify against.
+    NoBaseline,
+    /// The server failed internally (e.g. the state directory is not
+    /// writable during a checkpoint).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::BadDesign => "bad-design",
+            ErrorCode::UnknownDesign => "unknown-design",
+            ErrorCode::NoBaseline => "no-baseline",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// An I/O failure mid-frame.
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The body is not UTF-8 or not JSON. The payload is a human-readable
+    /// description; the connection can keep going (the framing layer is
+    /// still synchronized).
+    BadJson(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            FrameError::BadJson(m) => write!(f, "bad frame payload: {m}"),
+        }
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the serialized JSON.
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> std::io::Result<()> {
+    let body = payload.to_string();
+    let len = body.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. [`FrameError::Eof`] only when the stream ends cleanly
+/// *between* frames; a stream ending inside a frame is an I/O error.
+pub fn read_frame(r: &mut impl Read) -> Result<Json, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(FrameError::Eof),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    let text = String::from_utf8(body).map_err(|e| FrameError::BadJson(e.to_string()))?;
+    Json::parse(&text).map_err(|e| FrameError::BadJson(e.to_string()))
+}
+
+/// Builds a success response envelope: `{v, id, op, ok:true}` plus
+/// op-specific `fields`.
+pub fn ok_response(id: i64, op: &str, fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("v", Json::Int(PROTOCOL_VERSION)),
+        ("id", Json::Int(id)),
+        ("op", Json::Str(op.to_string())),
+        ("ok", Json::Bool(true)),
+    ];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// Builds an error response envelope:
+/// `{v, id, op, ok:false, error:{code, msg}}`.
+pub fn err_response(id: i64, op: &str, code: ErrorCode, msg: &str) -> Json {
+    Json::obj(vec![
+        ("v", Json::Int(PROTOCOL_VERSION)),
+        ("id", Json::Int(id)),
+        ("op", Json::Str(op.to_string())),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("code", Json::Str(code.as_str().to_string())),
+                ("msg", Json::Str(msg.to_string())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let v = Json::obj(vec![
+            ("op", Json::Str("status".into())),
+            ("v", Json::Int(1)),
+        ]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        write_frame(&mut buf, &Json::Int(7)).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), v);
+        assert_eq!(read_frame(&mut r).unwrap(), Json::Int(7));
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(b"xxxx");
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::Int(1)).unwrap();
+        buf.pop(); // cut the body short
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn non_json_body_keeps_framing() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{");
+        write_frame(&mut buf, &Json::Bool(true)).unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadJson(_))));
+        // The next frame is still readable: framing survived the bad body.
+        assert_eq!(read_frame(&mut r).unwrap(), Json::Bool(true));
+    }
+
+    #[test]
+    fn response_envelopes() {
+        let ok = ok_response(3, "status", vec![("uptime_ms", Json::Int(5))]);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(ok.get("id"), Some(&Json::Int(3)));
+        let err = err_response(4, "learn", ErrorCode::BadDesign, "nope");
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            err.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad-design")
+        );
+    }
+}

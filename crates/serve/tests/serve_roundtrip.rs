@@ -1,0 +1,710 @@
+//! End-to-end tests of the serve daemon: warm hits, bit-identity with cold
+//! batch runs, checkpoint/restart, signature-directed delta invalidation,
+//! and the protocol error vocabulary. Every op and every documented
+//! `serve.*` counter is exercised here.
+
+use hh_serve::client::{Client, ClientError};
+use hh_serve::json::Json;
+use hh_serve::proto::{read_frame, write_frame, PROTOCOL_VERSION};
+use hh_serve::server::{Bind, Server, ServerConfig};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct Daemon {
+    addr: String,
+    handle: Option<std::thread::JoinHandle<std::io::Result<hh_serve::server::ServerCounters>>>,
+}
+
+impl Daemon {
+    /// Boots an in-process daemon on an ephemeral TCP port.
+    fn start(state_dir: Option<PathBuf>) -> Daemon {
+        let config = ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            state_dir,
+            threads: 2,
+            checkpoint_every: 0,
+        };
+        let (server, _notes) = Server::bind(config).expect("bind");
+        let addr = server.local_addr().expect("tcp addr").to_string();
+        let handle = std::thread::spawn(move || server.run());
+        Daemon {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_tcp(&self.addr).expect("connect")
+    }
+
+    /// Shuts the daemon down and joins the accept loop.
+    fn stop(mut self) {
+        self.client().shutdown().expect("shutdown");
+        self.handle
+            .take()
+            .unwrap()
+            .join()
+            .expect("join")
+            .expect("run");
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hh-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn i64_field(resp: &Json, key: &str) -> i64 {
+    resp.get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("missing i64 field {key} in {resp}"))
+}
+
+fn str_arr(resp: &Json, key: &str) -> Vec<String> {
+    resp.get(key)
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("missing array field {key}"))
+        .iter()
+        .map(|j| j.as_str().expect("string entry").to_string())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A toy design with independent observable cones. `obs_a <= a`, `obs_b <= b`,
+// a secret register the observables never read, and a 32-bit instruction
+// input the datapath ignores — so every safe set proves, fast.
+// ---------------------------------------------------------------------------
+
+const TOY_V1: &str = "\
+1 sort bitvec 8
+2 sort bitvec 32
+3 input 2 instr
+4 state 1 sec1
+5 state 1 sec2
+6 state 1 sec3
+7 state 1 sec4
+8 state 1 a
+9 state 1 b
+10 state 1 obs_a
+11 state 1 obs_b
+12 zero 1
+13 one 1
+14 init 1 4 12
+15 init 1 5 12
+16 init 1 6 12
+17 init 1 7 12
+18 init 1 8 12
+19 init 1 9 12
+20 init 1 10 12
+21 init 1 11 12
+22 next 1 4 4
+23 next 1 5 5
+24 next 1 6 6
+25 next 1 7 7
+26 add 1 8 13
+27 next 1 8 26
+28 xor 1 9 13
+29 next 1 9 28
+30 next 1 10 8
+31 next 1 11 9
+";
+
+/// V2 changes only `b`'s update function (`xor` → `and`). The cones of the
+/// secrets, `a`, `obs_a` and `obs_b` are untouched, so only memo entries
+/// whose target reads `next(b)` may be invalidated.
+const TOY_V2: &str = "\
+1 sort bitvec 8
+2 sort bitvec 32
+3 input 2 instr
+4 state 1 sec1
+5 state 1 sec2
+6 state 1 sec3
+7 state 1 sec4
+8 state 1 a
+9 state 1 b
+10 state 1 obs_a
+11 state 1 obs_b
+12 zero 1
+13 one 1
+14 init 1 4 12
+15 init 1 5 12
+16 init 1 6 12
+17 init 1 7 12
+18 init 1 8 12
+19 init 1 9 12
+20 init 1 10 12
+21 init 1 11 12
+22 next 1 4 4
+23 next 1 5 5
+24 next 1 6 6
+25 next 1 7 7
+26 add 1 8 13
+27 next 1 8 26
+28 and 1 9 13
+29 next 1 9 28
+30 next 1 10 8
+31 next 1 11 9
+";
+
+fn toy_design_field(name: &str, src: &str) -> (&'static str, Json) {
+    (
+        "design",
+        Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("btor2", Json::Str(src.to_string())),
+            ("instr_input", Json::Str("instr".to_string())),
+            (
+                "observables",
+                Json::Arr(vec![
+                    Json::Str("obs_a".to_string()),
+                    Json::Str("obs_b".to_string()),
+                ]),
+            ),
+            (
+                "secret_regs",
+                Json::Arr(
+                    ["sec1", "sec2", "sec3", "sec4"]
+                        .iter()
+                        .map(|s| Json::Str(s.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("xlen", Json::Int(8)),
+            ("max_latency", Json::Int(2)),
+        ]),
+    )
+}
+
+fn toy_learn_fields(name: &str, src: &str) -> Vec<(&'static str, Json)> {
+    vec![
+        toy_design_field(name, src),
+        ("safe", Json::Str("alu".to_string())),
+        ("pairs", Json::Int(1)),
+        ("threads", Json::Int(2)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Warm hits
+// ---------------------------------------------------------------------------
+
+/// The acceptance property: the second identical request is answered
+/// entirely from warm state — memo seeded, zero SMT queries, zero fresh
+/// cone blasts — and the invariant is bit-identical. A memo flush then
+/// proves the encode cache itself replays (hits > 0, misses == 0).
+#[test]
+fn second_identical_request_is_a_warm_hit() {
+    let daemon = Daemon::start(None);
+    let mut c = daemon.client();
+
+    let cold = c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    assert_eq!(cold.get("result").unwrap().as_str(), Some("proved"));
+    assert!(i64_field(&cold, "smt_queries") > 0, "cold run must solve");
+    assert!(
+        i64_field(&cold, "cache_misses") > 0,
+        "cold run blasts cones"
+    );
+    assert_eq!(cold.get("warm_hit").unwrap(), &Json::Bool(false));
+    let cold_inv = str_arr(&cold, "invariant");
+    assert!(!cold_inv.is_empty());
+
+    let warm = c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    assert_eq!(warm.get("result").unwrap().as_str(), Some("proved"));
+    assert_eq!(warm.get("warm_hit").unwrap(), &Json::Bool(true));
+    assert!(i64_field(&warm, "memo_seeded") > 0);
+    assert_eq!(
+        i64_field(&warm, "memo_seeded"),
+        i64_field(&warm, "memo_reused"),
+        "every seed must survive an identical request"
+    );
+    assert_eq!(i64_field(&warm, "smt_queries"), 0, "zero fresh solving");
+    assert_eq!(i64_field(&warm, "cache_misses"), 0, "zero fresh blasting");
+    assert_eq!(i64_field(&warm, "relearned"), 0);
+    assert_eq!(str_arr(&warm, "invariant"), cold_inv, "bit-identical");
+
+    // Drop the memo but keep the encode cache: the re-learn must re-solve
+    // (queries > 0) yet serve every base encoding by replay.
+    let flushed = c.flush("memo", Some("toy")).unwrap();
+    assert_eq!(i64_field(&flushed, "jobs_cleared"), 1);
+    assert!(i64_field(&flushed, "entries_dropped") > 0);
+    let replay = c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    assert!(i64_field(&replay, "smt_queries") > 0, "memo was flushed");
+    assert!(i64_field(&replay, "cache_hits") > 0, "cache must replay");
+    assert_eq!(
+        i64_field(&replay, "cache_misses"),
+        0,
+        "no cone shape is new to the resident cache"
+    );
+    assert_eq!(str_arr(&replay, "invariant"), cold_inv, "replay-identical");
+
+    // Counters surface through status too.
+    let status = c.status().unwrap();
+    assert_eq!(i64_field(&status, "warm_hits"), 1);
+    assert_eq!(i64_field(&status, "learns"), 3);
+    daemon.stop();
+}
+
+/// Warm-served invariants are bit-identical to a cold batch run of the
+/// library pipeline, at every thread count.
+#[test]
+fn warm_answers_match_cold_batch_at_every_thread_count() {
+    use hh_isa::{InstrClass, ALL_MNEMONICS};
+    use hh_netlist::btor2::parse_btor2;
+    use hh_uarch::Design;
+    use veloct::{Veloct, VeloctConfig};
+
+    let netlist = parse_btor2(TOY_V1).unwrap();
+    let find = |n: &str| netlist.find_state(n).unwrap();
+    let design = Design {
+        instr_input: "instr".to_string(),
+        observable: vec![find("obs_a"), find("obs_b")],
+        secret_regs: vec![find("sec1"), find("sec2"), find("sec3"), find("sec4")],
+        masking: vec![],
+        nregs: 5,
+        xlen: 8,
+        max_latency: 2,
+        example_depth: 8,
+        netlist,
+    };
+    let safe: Vec<_> = ALL_MNEMONICS
+        .iter()
+        .copied()
+        .filter(|m| m.class() == InstrClass::Alu)
+        .collect();
+
+    let daemon = Daemon::start(None);
+    let mut c = daemon.client();
+    c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+
+    for threads in [1i64, 2, 4] {
+        let mut fields = toy_learn_fields("toy", TOY_V1);
+        fields.retain(|(k, _)| *k != "threads");
+        fields.push(("threads", Json::Int(threads)));
+        let warm = c.request("learn", fields).unwrap();
+        assert_eq!(
+            warm.get("warm_hit").unwrap(),
+            &Json::Bool(true),
+            "thread count must not key warm state"
+        );
+
+        let veloct = Veloct::with_config(
+            &design,
+            VeloctConfig {
+                threads: threads as usize,
+                pairs_per_instr: 1,
+                ..VeloctConfig::default()
+            },
+        );
+        // Invariant predicates live over the product (miter) netlist; the
+        // wire serialization needs its state names.
+        let (miter, _) = veloct.build_miter(&safe);
+        let cold = veloct.learn(&safe);
+        let inv = cold.invariant.expect("cold learn proves");
+        let mut cold_preds: Vec<String> = inv
+            .preds()
+            .iter()
+            .map(|p| p.to_wire(miter.netlist()))
+            .collect();
+        cold_preds.sort();
+        let mut warm_preds = str_arr(&warm, "invariant");
+        warm_preds.sort();
+        assert_eq!(warm_preds, cold_preds, "warm != cold at threads={threads}");
+    }
+    daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restart
+// ---------------------------------------------------------------------------
+
+/// Learn fields for the builtin rocketlite design — the certify leg of the
+/// restart test. Certificates reference the design by constructor name, so
+/// only builtin designs are certifiable over the wire.
+fn rocket_learn_fields() -> Vec<(&'static str, Json)> {
+    vec![
+        (
+            "design",
+            Json::obj(vec![
+                ("name", Json::Str("rocket".to_string())),
+                ("builtin", Json::Str("rocketlite".to_string())),
+                ("xlen", Json::Int(16)),
+            ]),
+        ),
+        ("safe", Json::Str("alu".to_string())),
+        ("pairs", Json::Int(1)),
+        ("threads", Json::Int(2)),
+        ("certify", Json::Bool(true)),
+    ]
+}
+
+/// Kill-and-restart from a checkpoint reproduces the answer with zero
+/// solving, and the certificate bundle re-emitted from restored state
+/// passes the independent `hh-proof` checker.
+#[test]
+fn restart_from_checkpoint_reproduces_answers() {
+    let dir = temp_dir("restart");
+
+    let daemon = Daemon::start(Some(dir.clone()));
+    let mut c = daemon.client();
+    // Leg 1: a btor2 design shipped in the frame (warm restore of inlined
+    // sources). Not certifiable — the checker cannot re-derive it.
+    let toy_fields = toy_learn_fields("toy", TOY_V1);
+    let toy_cold = c.request("learn", toy_fields.clone()).unwrap();
+    let toy_inv = str_arr(&toy_cold, "invariant");
+    let mut bad = toy_learn_fields("toy", TOY_V1);
+    bad.push(("certify", Json::Bool(true)));
+    expect_server_error(c.request("learn", bad), "bad-request");
+    // Leg 2: a builtin design with certification.
+    let cold = c.request("learn", rocket_learn_fields()).unwrap();
+    let cold_inv = str_arr(&cold, "invariant");
+    let cert_path = PathBuf::from(cold.get("certificate").unwrap().as_str().unwrap());
+    let report = hh_proof::cert::check_bundle(&cert_path).expect("bundle checks");
+    assert!(report.obligations > 0);
+    daemon.stop(); // checkpoints on the way down
+
+    // A fresh process (modelled by a fresh server) restores the state dir.
+    let daemon2 = Daemon::start(Some(dir.clone()));
+    let mut c2 = daemon2.client();
+    let status = c2.status().unwrap();
+    let designs = status.get("designs").unwrap().as_arr().unwrap();
+    assert_eq!(designs.len(), 2, "both designs restored from checkpoint");
+    for d in designs {
+        assert_eq!(
+            d.get("jobs").unwrap().as_arr().unwrap()[0]
+                .get("proved")
+                .unwrap(),
+            &Json::Bool(true)
+        );
+    }
+
+    let toy_warm = c2.request("learn", toy_fields).unwrap();
+    assert_eq!(toy_warm.get("warm_hit").unwrap(), &Json::Bool(true));
+    assert_eq!(
+        i64_field(&toy_warm, "smt_queries"),
+        0,
+        "restart keeps warmth"
+    );
+    assert_eq!(str_arr(&toy_warm, "invariant"), toy_inv);
+
+    let warm = c2.request("learn", rocket_learn_fields()).unwrap();
+    assert_eq!(warm.get("warm_hit").unwrap(), &Json::Bool(true));
+    assert_eq!(i64_field(&warm, "smt_queries"), 0, "restart keeps warmth");
+    assert_eq!(str_arr(&warm, "invariant"), cold_inv);
+    // The bundle survives the shutdown checkpoint and was re-emitted from
+    // restored solutions; both ways it must satisfy the checker.
+    assert!(
+        cert_path.join("MANIFEST").exists(),
+        "bundle survives restart"
+    );
+    let cert2 = PathBuf::from(warm.get("certificate").unwrap().as_str().unwrap());
+    hh_proof::cert::check_bundle(&cert2).expect("restored bundle checks");
+    daemon2.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Design deltas
+// ---------------------------------------------------------------------------
+
+/// A signature-preserving delta re-learns only the changed cones: the `b`
+/// update function changes, so exactly the memo entries reading `next(b)`
+/// are invalidated; everything else seeds the re-run.
+#[test]
+fn delta_relearns_only_changed_cones() {
+    let daemon = Daemon::start(None);
+    let mut c = daemon.client();
+
+    let v1 = c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    assert_eq!(v1.get("result").unwrap().as_str(), Some("proved"));
+    let v1_queries = i64_field(&v1, "smt_queries");
+
+    // `verify` is the incremental-re-verification op: it requires the warm
+    // baseline this job now has.
+    let v2 = c
+        .request("verify", toy_learn_fields("toy", TOY_V2))
+        .unwrap();
+    assert_eq!(v2.get("result").unwrap().as_str(), Some("proved"));
+    let invalidated = i64_field(&v2, "invalidated");
+    let seeded = i64_field(&v2, "memo_seeded");
+    let reused = i64_field(&v2, "memo_reused");
+    assert!(invalidated >= 1, "the changed cone must be invalidated");
+    assert!(seeded >= 1, "unchanged cones must carry over");
+    assert!(reused >= 1, "carried-over entries must be reused");
+    assert_eq!(seeded, reused, "no seed should go stale on this delta");
+    let v2_queries = i64_field(&v2, "smt_queries");
+    assert!(v2_queries > 0, "the changed cone must be re-learned");
+    assert!(
+        v2_queries < v1_queries,
+        "incremental re-verification must solve less than the cold run \
+         ({v2_queries} vs {v1_queries})"
+    );
+
+    // Same delta again: now fully warm.
+    let again = c
+        .request("verify", toy_learn_fields("toy", TOY_V2))
+        .unwrap();
+    assert_eq!(again.get("warm_hit").unwrap(), &Json::Bool(true));
+    assert_eq!(i64_field(&again, "invalidated"), 0);
+    daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol errors
+// ---------------------------------------------------------------------------
+
+fn expect_server_error(r: Result<Json, ClientError>, code: &str) {
+    match r {
+        Err(ClientError::Server(c, _)) => assert_eq!(c, code),
+        other => panic!("expected server error {code}, got {other:?}"),
+    }
+}
+
+/// Every documented error code is producible, and none of them poisons the
+/// connection.
+#[test]
+fn error_vocabulary_round_trips() {
+    let daemon = Daemon::start(None);
+    let mut c = daemon.client();
+
+    // bad-request: unknown op, malformed design name, bad safe set.
+    expect_server_error(c.request("frobnicate", vec![]), "bad-request");
+    expect_server_error(
+        c.request(
+            "learn",
+            vec![(
+                "design",
+                Json::obj(vec![
+                    ("name", Json::Str("no/slashes".to_string())),
+                    ("builtin", Json::Str("rocketlite".to_string())),
+                ]),
+            )],
+        ),
+        "bad-request",
+    );
+    expect_server_error(
+        c.request(
+            "learn",
+            vec![
+                toy_design_field("toy", TOY_V1),
+                ("safe", Json::Str("everything".to_string())),
+            ],
+        ),
+        "bad-request",
+    );
+
+    // bad-design: unknown builtin, unparsable btor2, missing state.
+    expect_server_error(
+        c.request(
+            "learn",
+            vec![(
+                "design",
+                Json::obj(vec![
+                    ("name", Json::Str("d".to_string())),
+                    ("builtin", Json::Str("pentium4".to_string())),
+                ]),
+            )],
+        ),
+        "bad-design",
+    );
+    expect_server_error(
+        c.request(
+            "learn",
+            vec![(
+                "design",
+                Json::obj(vec![
+                    ("name", Json::Str("d".to_string())),
+                    ("btor2", Json::Str("1 zort bitvec 8".to_string())),
+                    ("instr_input", Json::Str("instr".to_string())),
+                ]),
+            )],
+        ),
+        "bad-design",
+    );
+
+    // unknown-design: verify of a never-registered design name, and flush of
+    // a never-seen key.
+    expect_server_error(
+        c.request("verify", toy_learn_fields("fresh", TOY_V1)),
+        "unknown-design",
+    );
+    expect_server_error(c.flush("memo", Some("never-seen")), "unknown-design");
+
+    // no-baseline: the design is resident, but no learn ever ran for this
+    // job key (pairs differs).
+    c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    let other_key: Vec<(&str, Json)> = toy_learn_fields("toy", TOY_V1)
+        .into_iter()
+        .map(|(k, v)| {
+            if k == "pairs" {
+                (k, Json::Int(2))
+            } else {
+                (k, v)
+            }
+        })
+        .collect();
+    expect_server_error(c.request("verify", other_key), "no-baseline");
+
+    // The connection is still healthy after every error.
+    assert!(c.status().is_ok());
+    daemon.stop();
+}
+
+/// Version and framing errors, spoken raw (the typed client cannot produce
+/// them): wrong `v` answers bad-version, a non-JSON body answers bad-json,
+/// and both leave the connection usable.
+#[test]
+fn version_and_framing_errors() {
+    let daemon = Daemon::start(None);
+    let mut s = TcpStream::connect(&daemon.addr).unwrap();
+
+    // Wrong protocol version.
+    let req = Json::obj(vec![
+        ("v", Json::Int(PROTOCOL_VERSION + 1)),
+        ("id", Json::Int(9)),
+        ("op", Json::Str("status".to_string())),
+    ]);
+    write_frame(&mut s, &req).unwrap();
+    let resp = read_frame(&mut s).unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.get("id"), Some(&Json::Int(9)));
+    assert_eq!(
+        resp.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("bad-version")
+    );
+
+    // Missing version field.
+    let req = Json::obj(vec![
+        ("id", Json::Int(10)),
+        ("op", Json::Str("status".to_string())),
+    ]);
+    write_frame(&mut s, &req).unwrap();
+    let resp = read_frame(&mut s).unwrap();
+    assert_eq!(
+        resp.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("bad-version")
+    );
+
+    // A well-framed garbage body: bad-json, connection survives.
+    use std::io::Write as _;
+    s.write_all(&3u32.to_be_bytes()).unwrap();
+    s.write_all(b"{{{").unwrap();
+    s.flush().unwrap();
+    let resp = read_frame(&mut s).unwrap();
+    assert_eq!(
+        resp.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("bad-json")
+    );
+    let req = Json::obj(vec![
+        ("v", Json::Int(PROTOCOL_VERSION)),
+        ("id", Json::Int(11)),
+        ("op", Json::Str("status".to_string())),
+    ]);
+    write_frame(&mut s, &req).unwrap();
+    let resp = read_frame(&mut s).unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Unix socket transport
+// ---------------------------------------------------------------------------
+
+/// The daemon speaks the same protocol over a Unix-domain socket.
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    let sock = std::env::temp_dir().join(format!("hh-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let (server, _) = Server::bind(ServerConfig {
+        bind: Bind::Unix(sock.clone()),
+        state_dir: None,
+        threads: 2,
+        checkpoint_every: 0,
+    })
+    .expect("bind unix");
+    let handle = std::thread::spawn(move || server.run());
+    let mut c = Client::connect_unix(&sock).expect("connect unix");
+    let status = c.status().unwrap();
+    assert_eq!(i64_field(&status, "requests"), 1);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Trace counters
+// ---------------------------------------------------------------------------
+
+/// Every `serve.*` counter documented in docs/TRACE_SCHEMA.md and mapped in
+/// docs/MONITORING.md fires under this one scenario: boot, cold learn, warm
+/// learn, delta verify, flush, explicit checkpoint, framing error,
+/// shutdown, restore.
+#[test]
+fn documented_trace_counters_all_fire() {
+    hh_trace::init(hh_trace::TraceConfig::on());
+    let dir = temp_dir("trace");
+
+    let daemon = Daemon::start(Some(dir.clone()));
+    let mut c = daemon.client();
+    c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap(); // warm hit
+    c.request("verify", toy_learn_fields("toy", TOY_V2))
+        .unwrap(); // delta
+    c.flush("memo", None).unwrap();
+    c.checkpoint().unwrap();
+    let _ = c.request("frobnicate", vec![]); // serve.error
+    daemon.stop();
+
+    let daemon2 = Daemon::start(Some(dir.clone())); // serve.restored_jobs
+    daemon2.stop();
+    // Connection threads harvest their trace rings into the global registry
+    // when they exit; close our connection and poll-drain until the rings
+    // land (thread exit is asynchronous).
+    drop(c);
+
+    let counters = [
+        "serve.request",
+        "serve.error",
+        "serve.seeded",
+        "serve.reused",
+        "serve.invalidated",
+        "serve.relearned",
+        "serve.warm_hit",
+        "serve.flush",
+        "serve.checkpoint",
+        "serve.restored_jobs",
+    ];
+    let want_events = ["serve.boot", "serve.shutdown"];
+    let mut totals: std::collections::BTreeMap<&str, i64> = Default::default();
+    let mut seen_events: Vec<&str> = Vec::new();
+    for _ in 0..100 {
+        let trace = hh_trace::drain();
+        for (k, v) in trace.counter_totals() {
+            *totals.entry(k).or_insert(0) += v;
+        }
+        seen_events.extend(trace.events.iter().map(|e| e.name));
+        if counters.iter().all(|c| totals.contains_key(c))
+            && want_events.iter().all(|e| seen_events.contains(e))
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    for counter in counters {
+        assert!(
+            totals.contains_key(counter),
+            "counter {counter} never fired; totals: {totals:?}"
+        );
+    }
+    for event in want_events {
+        assert!(seen_events.contains(&event), "event {event} never fired");
+    }
+    hh_trace::init(hh_trace::TraceConfig::Off);
+    let _ = std::fs::remove_dir_all(&dir);
+}

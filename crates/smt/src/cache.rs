@@ -247,6 +247,42 @@ impl EncodeCache {
         out
     }
 
+    /// Dumps every learnt-clause pool as `(signature key, clauses)` pairs,
+    /// sorted by key for deterministic output. Unlike
+    /// [`EncodeCache::pool_snapshot`] this is a telemetry-neutral export —
+    /// it does not count as an import. Used by warm-state checkpointing
+    /// (`hh-serve`): signature keys are renaming-invariant, so a dumped pool
+    /// re-imported into a cache over a *rebuilt* (or delta-patched) netlist
+    /// stays valid for every cone whose signature survived the change.
+    pub fn dump_pools(&self) -> Vec<(Vec<u64>, Vec<Vec<Lit>>)> {
+        let pools = self.pools.lock().unwrap();
+        let mut out: Vec<(Vec<u64>, Vec<Vec<Lit>>)> = pools
+            .iter()
+            .map(|(k, p)| (k.clone(), p.clauses.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Seeds learnt-clause pools from a previous [`EncodeCache::dump_pools`]
+    /// dump (warm restore). Clauses pass through the same dedup/bounds
+    /// filter as live exports; returns how many were absorbed. Telemetry
+    /// neutral: restored clauses count as neither exports nor imports, so
+    /// post-restore counter deltas measure only the new run's work.
+    pub fn seed_pools(&self, dump: &[(Vec<u64>, Vec<Vec<Lit>>)]) -> usize {
+        let mut pools = self.pools.lock().unwrap();
+        let mut n = 0usize;
+        for (key, clauses) in dump {
+            let pool = pools.entry(key.clone()).or_default();
+            for c in clauses {
+                if pool.absorb(c) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
     /// Current aggregate telemetry.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

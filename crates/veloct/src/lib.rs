@@ -39,11 +39,13 @@ pub mod examples;
 use examples::{differential_test, generate_examples, Divergence};
 use hh_isa::{safe_set_patterns, InstrClass, Instruction, Mnemonic, ALL_MNEMONICS};
 use hh_netlist::miter::Miter;
+use hh_smt::EncodeCache;
 use hh_smt::{Pattern, Predicate};
 use hh_uarch::Design;
 use hhoudini::baselines::{houdini, sorcar, BaselineBudget, BaselineOutcome, BaselineStats};
 use hhoudini::mine::CoiMiner;
 use hhoudini::{EngineConfig, Invariant, ParallelEngine, PredicateStore, Stats};
+use std::sync::Arc;
 
 /// Configuration of the VeloCT pipeline.
 #[derive(Debug, Clone)]
@@ -120,6 +122,29 @@ pub struct LearnReport {
     /// premise set that made it relatively inductive. This is the raw
     /// material for [`Veloct::emit_certificate`].
     pub solutions: Vec<(Predicate, Vec<Predicate>)>,
+    /// Memo entries preloaded from a [`WarmContext`] before solving.
+    pub memo_seeded: usize,
+    /// Preloaded entries that survived into the final solution table (the
+    /// rest were swept stale and re-learned).
+    pub memo_reused: usize,
+}
+
+/// Warm state carried into [`Veloct::learn_warm`] by a resident service:
+/// an engine-external [`EncodeCache`] that outlives the call, plus memoised
+/// solutions from an earlier run to preload. Both are optional; the default
+/// context reproduces the cold [`Veloct::learn`] behaviour exactly.
+///
+/// Soundness contract: the cache must have been built over a netlist whose
+/// content is identical to the miter this run constructs, and every seeded
+/// solution's target must have an unchanged cone signature (see
+/// `hh_netlist::signature`) — `hh-serve` enforces both before calling.
+#[derive(Debug, Default)]
+pub struct WarmContext {
+    /// Resident encode cache (replay streams + learnt-clause pools), or
+    /// `None` to build a per-run cache as usual.
+    pub encode_cache: Option<Arc<EncodeCache>>,
+    /// `(target, premises)` solutions to preload into the engine memo.
+    pub seeds: Vec<(Predicate, Vec<Predicate>)>,
 }
 
 /// Result of full safe-set synthesis (classification).
@@ -200,10 +225,15 @@ impl<'a> Veloct<'a> {
     /// Builds the miter with the safe-set input constraint installed.
     ///
     /// Delegates to [`hh_uarch::decode::constrained_miter`] — the single
-    /// construction shared with `hh-proof`'s certificate verifier, so that
-    /// an emitted obligation CNF and its independent re-derivation are
-    /// byte-identical.
-    fn build_miter(&self, safe: &[Mnemonic]) -> (Miter, Vec<Pattern>) {
+    /// construction shared with `hh-proof`'s certificate verifier and with
+    /// `hh-serve`'s resident warm state, so that an emitted obligation CNF,
+    /// its independent re-derivation, and a daemon's resident product
+    /// netlist are all byte-identical. The build is deterministic: two
+    /// calls with equal designs and safe sets produce netlists with
+    /// identical state numbering, which is what lets warm-state predicates
+    /// (resolved against a resident miter) be seeded into an engine that
+    /// builds its own.
+    pub fn build_miter(&self, safe: &[Mnemonic]) -> (Miter, Vec<Pattern>) {
         let patterns = instruction_patterns(safe);
         let miter =
             hh_uarch::decode::constrained_miter(self.design, &pattern_mask_matches(&patterns));
@@ -221,6 +251,17 @@ impl<'a> Veloct<'a> {
 
     /// Attempts to learn an invariant proving the proposed safe set.
     pub fn learn(&self, safe: &[Mnemonic]) -> LearnReport {
+        self.learn_warm(safe, WarmContext::default())
+    }
+
+    /// [`Veloct::learn`] over externally owned warm state: the resident
+    /// encode cache and memo seeds of a long-running service. With the
+    /// default context this *is* `learn`; with warm state the learned
+    /// invariant is bit-identical to the cold run (replay and clause import
+    /// cannot change outcomes, and seeds are solutions of the identical
+    /// problem) — only the amount of fresh work differs, reported through
+    /// [`LearnReport::memo_seeded`] / [`LearnReport::memo_reused`].
+    pub fn learn_warm(&self, safe: &[Mnemonic], warm: WarmContext) -> LearnReport {
         let _span = hh_trace::span!("veloct", "veloct.learn");
         let (miter, patterns) = self.build_miter(safe);
         let state_bits = self.design.state_bits();
@@ -245,6 +286,8 @@ impl<'a> Veloct<'a> {
                     divergence: Some(div),
                     state_bits,
                     solutions: Vec::new(),
+                    memo_seeded: 0,
+                    memo_reused: 0,
                 }
             }
         };
@@ -270,6 +313,10 @@ impl<'a> Veloct<'a> {
         }
         let mut engine =
             ParallelEngine::new(miter.netlist(), miner, engine_config, self.config.threads);
+        if let Some(cache) = warm.encode_cache {
+            engine.set_encode_cache(cache);
+        }
+        let memo_seeded = engine.seed_solutions(&warm.seeds);
         let props = self.property(&miter);
         let invariant = engine.learn(&props);
         LearnReport {
@@ -279,6 +326,8 @@ impl<'a> Veloct<'a> {
             divergence: None,
             state_bits,
             solutions: engine.solutions(),
+            memo_seeded,
+            memo_reused: engine.seeds_reused(),
         }
     }
 
