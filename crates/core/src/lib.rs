@@ -57,11 +57,15 @@ mod engine;
 mod invariant;
 pub mod mine;
 mod parallel;
+pub mod reorder;
+pub mod sim;
 mod stats;
 mod store;
 
 pub use engine::{EngineConfig, SerialEngine};
 pub use invariant::Invariant;
 pub use parallel::ParallelEngine;
+pub use reorder::ReorderBuffer;
+pub use sim::{FifoDriver, SchedEvent, SimDriver};
 pub use stats::{Stats, TaskRecord};
 pub use store::{PredId, PredicateStore};

@@ -16,7 +16,7 @@
 //! order, so the issue order is total and reproducible.
 //!
 //! **Determinism.** Results are *committed* in job-issue order through a
-//! reorder buffer, and the scheduler commits **exactly one** result per
+//! [`ReorderBuffer`], and the scheduler commits **exactly one** result per
 //! loop iteration before issuing again. Every issue point therefore sees
 //! scheduler state (`P_fail`, memo table, miner, priority queue, clause
 //! pools) that is a pure function of the commit count — never of worker
@@ -25,6 +25,13 @@
 //! measured durations vary. Out-of-order completions are buffered (cheap:
 //! commits are table updates), so the barrier of the old wavefront design
 //! is gone from the *solving* path.
+//!
+//! **Backends.** The scheduler core ([`ParallelEngine::learn`] vs
+//! [`ParallelEngine::learn_sim`]) is generic over how jobs execute: the
+//! threaded backend runs the real worker pool over mpsc channels, while
+//! the virtual backend hands completion *order* to a [`SimDriver`] and
+//! solves on the calling thread — the seam hh-vopr uses to simulate the
+//! whole engine deterministically from a seed (see [`crate::sim`]).
 //!
 //! The memo table and `P_fail` are shared across the run exactly as in the
 //! serial engine, so overlapping cones are still analysed once. Each target
@@ -38,13 +45,17 @@
 
 use crate::engine::{make_session, SessionCache};
 use crate::mine::Miner;
+use crate::reorder::ReorderBuffer;
+use crate::sim::{SchedEvent, SimDriver};
 use crate::store::{PredId, PredicateStore};
 use crate::{EngineConfig, Invariant, Stats, TaskRecord};
 use hh_netlist::coi::Coi;
 use hh_netlist::Netlist;
-use hh_smt::{AbductionResult, AbductionSession, EncodeCache, Predicate};
+use hh_smt::{AbductionConfig, AbductionResult, AbductionSession, EncodeCache, Predicate};
+use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -84,6 +95,12 @@ pub struct ParallelEngine<'a, M: Miner> {
     /// [`ParallelEngine::seed_solutions`] rather than solved in this engine.
     seeded: HashSet<PredId>,
     stats: Stats,
+    /// Fault-injection seam: job index whose worker panics mid-solve (the
+    /// hh-vopr worker-death fault in the threaded backend).
+    fail_job: Option<usize>,
+    /// Regression canary: commit buffered completions newest-first instead
+    /// of in issue order. See [`ParallelEngine::enable_commit_shuffle`].
+    canary_shuffle: bool,
 }
 
 /// What a worker needs to run one abduction query. Predicates are shared
@@ -106,9 +123,57 @@ struct JobMeta {
 /// A completed query travelling back to the merge loop.
 struct JobDone<'a> {
     job_idx: usize,
-    result: AbductionResult,
+    /// `None` when the worker died (panicked) before producing a result —
+    /// the run is poisoned and the scheduler stops committing.
+    result: Option<AbductionResult>,
     duration: Duration,
     session: Option<AbductionSession<'a>>,
+}
+
+/// Runs one abduction query — the worker body shared by the threaded pool
+/// and the virtual (simulation) backend. A panicking solve is caught and
+/// surfaced as a `result: None` completion instead of tearing the worker
+/// down silently: before this, a panicked worker left the scheduler
+/// blocked forever on a `JobDone` that would never arrive.
+fn solve_job<'a>(
+    netlist: &'a Netlist,
+    abd_cfg: &AbductionConfig,
+    mut job: Job<'a>,
+    panic_on: Option<usize>,
+) -> JobDone<'a> {
+    let _job_span = hh_trace::span!("sched", "sched.job");
+    let job_idx = job.job_idx;
+    let q0 = Instant::now();
+    let solved = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        assert!(
+            panic_on != Some(job_idx),
+            "injected worker death (fault-injection seam)"
+        );
+        match job.session.take() {
+            Some(mut s) => {
+                let r = s.solve(&job.cands);
+                (r, Some(s))
+            }
+            None => (
+                hh_smt::abduct(netlist, &job.target, &job.cands, abd_cfg),
+                None,
+            ),
+        }
+    }));
+    match solved {
+        Ok((result, session)) => JobDone {
+            job_idx,
+            result: Some(result),
+            duration: q0.elapsed(),
+            session,
+        },
+        Err(_) => JobDone {
+            job_idx,
+            result: None,
+            duration: q0.elapsed(),
+            session: None,
+        },
+    }
 }
 
 impl<'a, M: Miner> ParallelEngine<'a, M> {
@@ -133,7 +198,28 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             warm_cache: None,
             seeded: HashSet::new(),
             stats: Stats::default(),
+            fail_job: None,
+            canary_shuffle: false,
         }
+    }
+
+    /// Fault-injection seam (hh-vopr worker-death fault): the worker that
+    /// picks up job `job_idx` panics mid-solve. The engine must surface the
+    /// death — `learn` returns `None` with [`Stats::poisoned`] set — rather
+    /// than hang waiting for the lost completion.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&mut self, job_idx: usize) {
+        self.fail_job = Some(job_idx);
+    }
+
+    /// Regression canary (hh-vopr): reintroduces the commit-order bug the
+    /// reorder buffer exists to prevent — buffered completions commit
+    /// newest-first instead of in issue order, so scheduler state becomes a
+    /// function of completion timing. The simulator's commit-order checker
+    /// must detect this within its CI seed budget; nothing else may call it.
+    #[doc(hidden)]
+    pub fn enable_commit_shuffle(&mut self) {
+        self.canary_shuffle = true;
     }
 
     /// Attaches an externally owned, warm [`EncodeCache`] (encoding replay
@@ -211,6 +297,10 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
     /// (this thread) mines candidate sets, issues jobs, and commits results
     /// in issue order; workers stream completed abductions back as they
     /// finish. See the module docs for the determinism argument.
+    ///
+    /// A worker that panics mid-job does not strand the scheduler: the
+    /// panic is caught, the run is marked poisoned ([`Stats::poisoned`])
+    /// and `None` is returned.
     pub fn learn(&mut self, properties: &[Predicate]) -> Option<Invariant> {
         let t0 = Instant::now();
         let _learn_span = hh_trace::span!("engine", "engine.learn");
@@ -225,9 +315,6 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
 
         let netlist = self.netlist;
         let abd_cfg = self.config.abduction;
-        let use_sessions = self.config.sessions;
-        let cone_cache = self.config.cone_cache;
-        let clause_transfer = self.config.clause_transfer;
         // A warm cache (resident service) takes precedence over the per-run
         // cache; it outlives this call and keeps its recorded encodings.
         let encode_cache = self
@@ -236,7 +323,7 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             .or_else(|| self.config.make_encode_cache(netlist));
         let workers = self.threads.max(1);
         let coi = Coi::new(netlist);
-        let mut weights: HashMap<PredId, u64> = HashMap::new();
+        let fail_job = self.fail_job;
 
         let (job_tx, job_rx) = mpsc::channel::<Job<'a>>();
         let job_rx = Mutex::new(job_rx);
@@ -250,26 +337,9 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
                     loop {
                         // Hold the lock only for the dequeue, not the solve.
                         let job = job_rx.lock().unwrap().recv();
-                        let Ok(mut job) = job else { break };
-                        let _job_span = hh_trace::span!("sched", "sched.job");
-                        let q0 = Instant::now();
-                        let (result, session) = match job.session.take() {
-                            Some(mut s) => {
-                                let r = s.solve(&job.cands);
-                                (r, Some(s))
-                            }
-                            None => (
-                                hh_smt::abduct(netlist, &job.target, &job.cands, &abd_cfg),
-                                None,
-                            ),
-                        };
-                        let sent = done_tx.send(JobDone {
-                            job_idx: job.job_idx,
-                            result,
-                            duration: q0.elapsed(),
-                            session,
-                        });
-                        if sent.is_err() {
+                        let Ok(job) = job else { break };
+                        let done = solve_job(netlist, &abd_cfg, job, fail_job);
+                        if done_tx.send(done).is_err() {
                             break; // scheduler gone
                         }
                     }
@@ -282,194 +352,17 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
             }
             drop(done_tx); // scheduler keeps only done_rx
 
-            // Scheduler state. `queue` holds predicates to (re-)issue,
-            // largest cone first (enqueue order as tiebreak); `reorder`
-            // buffers out-of-order completions until their turn to commit.
-            let mut queue: BinaryHeap<(u64, Reverse<usize>, PredId)> = BinaryHeap::new();
-            let mut seq = 0usize;
-            for &p in &prop_ids {
-                let w = *weights
-                    .entry(p)
-                    .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(p)));
-                queue.push((w, Reverse(seq), p));
-                seq += 1;
-            }
-            // Seeded memo entries short-circuit their own solve, but their
-            // premises must still be scheduled: a premise whose entry was
-            // invalidated (or never seeded) has to be re-learned before
-            // `assemble` walks through it. Enqueue every seeded premise in
-            // deterministic (target, position) order; already-memoised ones
-            // are skipped at issue, exactly like memo hits.
-            if !self.seeded.is_empty() {
-                let mut seeded: Vec<PredId> = self.seeded.iter().copied().collect();
-                seeded.sort_unstable();
-                for p in seeded {
-                    let Some(ab) = self.memo.get(&p).cloned() else {
-                        continue;
-                    };
-                    for q in ab {
-                        self.discoverer.entry(q).or_insert(None);
-                        let w = *weights
-                            .entry(q)
-                            .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(q)));
-                        queue.push((w, Reverse(seq), q));
-                        seq += 1;
-                    }
-                }
-            }
-            let mut metas: Vec<JobMeta> = Vec::new();
-            let mut reorder: BTreeMap<usize, JobDone<'a>> = BTreeMap::new();
-            let mut next_commit = 0usize;
-            let mut inflight: HashSet<PredId> = HashSet::new();
-
-            let outcome = loop {
-                // Issue phase: drain the queue in priority order, skipping
-                // targets that resolved (or got scheduled) since they were
-                // enqueued.
-                while let Some((_, _, p)) = queue.pop() {
-                    if self.failed.contains(&p)
-                        || self.memo.contains_key(&p)
-                        || inflight.contains(&p)
-                    {
-                        continue;
-                    }
-                    let target = self.store.get_arc(p);
-                    let mut cand_ids = self.miner.mine(&target, &mut self.store);
-                    cand_ids.sort_unstable();
-                    cand_ids.dedup();
-                    cand_ids.retain(|q| !self.failed.contains(q));
-                    let cands = self.store.resolve_arc(&cand_ids);
-                    let parent = self.discoverer.get(&p).copied().flatten();
-                    let job_idx = metas.len();
-                    metas.push(JobMeta {
-                        pred: p,
-                        cand_ids,
-                        parent,
-                    });
-                    let session = if use_sessions {
-                        let mut s = self.sessions.remove(&p).unwrap_or_else(|| {
-                            make_session(
-                                netlist,
-                                Arc::clone(&target),
-                                &abd_cfg,
-                                encode_cache.as_ref(),
-                                cone_cache,
-                            )
-                        });
-                        if clause_transfer {
-                            s.stage_imports();
-                        }
-                        Some(s)
-                    } else {
-                        None
-                    };
-                    inflight.insert(p);
-                    hh_trace::event!("sched", "sched.issue");
-                    hh_trace::counter!("sched", "sched.inflight", 1);
-                    job_tx
-                        .send(Job {
-                            job_idx,
-                            target,
-                            cands,
-                            session,
-                        })
-                        .expect("worker pool alive");
-                }
-
-                // Quiescence: nothing queued, nothing in flight. Sweep
-                // stale solutions (partial backtracking) or finish.
-                if next_commit == metas.len() {
-                    if prop_ids.iter().any(|p| self.failed.contains(p)) {
-                        break None;
-                    }
-                    let mut stale: Vec<PredId> = self
-                        .memo
-                        .iter()
-                        .filter(|(_, ab)| ab.iter().any(|q| self.failed.contains(q)))
-                        .map(|(&p, _)| p)
-                        .collect();
-                    if stale.is_empty() {
-                        break Some(self.assemble(&prop_ids));
-                    }
-                    stale.sort_unstable(); // deterministic re-issue order
-                    self.stats.backtracks += stale.len();
-                    hh_trace::counter!("engine", "engine.backtrack", stale.len());
-                    for s in stale {
-                        self.memo.remove(&s);
-                        // A swept seed was *not* reused — its re-solve below
-                        // is fresh work and must be accounted as such.
-                        self.seeded.remove(&s);
-                        let w = *weights
-                            .entry(s)
-                            .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(s)));
-                        queue.push((w, Reverse(seq), s));
-                        seq += 1;
-                    }
-                    continue;
-                }
-
-                // Stream phase: block for the next completion in issue
-                // order, then commit exactly ONE result before issuing
-                // again. Single-step commits keep every issue point a pure
-                // function of the commit count (see module docs); children
-                // mined from the commit land in `queue` and are issued on
-                // the next loop iteration — while other jobs are still
-                // solving.
-                while !reorder.contains_key(&next_commit) {
-                    let done = done_rx.recv().expect("worker result");
-                    // NOTE: do NOT fold `done.duration` into the occupancy
-                    // accounting here. Several completions can be buffered
-                    // while waiting for the in-order commit, and each of
-                    // them passes through the single-commit step below —
-                    // accounting at both points would double-count every
-                    // buffered job (`worker_busy_time` would exceed the sum
-                    // of task durations).
-                    reorder.insert(done.job_idx, done);
-                }
-                let done = reorder.remove(&next_commit).expect("checked above");
-                let meta = &metas[next_commit];
-                hh_trace::event!("sched", "sched.commit");
-                hh_trace::counter!("sched", "sched.inflight", -1);
-                // Occupancy: every job is committed exactly once, so this is
-                // the one place worker busy time may be accumulated.
-                self.stats.worker_busy_time += done.duration;
-                self.stats.record_query(done.duration);
-                self.stats.record_abduction(&done.result.telemetry);
-                let task_idx = self.stats.tasks.len();
-                self.stats.tasks.push(TaskRecord {
-                    pred: meta.pred,
-                    parent: meta.parent,
-                    duration: done.duration,
-                    smt_time: done.duration,
-                    queries: 1,
-                });
-                self.stats.task_time += done.duration;
-                match done.result.abduct {
-                    None => {
-                        self.failed.insert(meta.pred);
-                    }
-                    Some(idxs) => {
-                        let ab: Vec<PredId> = idxs.into_iter().map(|i| meta.cand_ids[i]).collect();
-                        for &q in &ab {
-                            self.discoverer.entry(q).or_insert(Some(task_idx));
-                            let w = *weights
-                                .entry(q)
-                                .or_insert_with(|| cone_weight(netlist, &coi, self.store.get(q)));
-                            queue.push((w, Reverse(seq), q));
-                            seq += 1;
-                        }
-                        self.memo.insert(meta.pred, ab);
-                    }
-                }
-                inflight.remove(&meta.pred);
-                if let Some(s) = done.session {
-                    if clause_transfer {
-                        s.export_learnt_to_pool();
-                    }
-                    self.sessions.insert(meta.pred, s);
-                }
-                next_commit += 1;
-            };
+            let outcome = self.run_scheduler(
+                &prop_ids,
+                &coi,
+                encode_cache.as_ref(),
+                |job| job_tx.send(job).expect("worker pool alive"),
+                // With the panic fix above this recv cannot strand: every
+                // dequeued job produces a JobDone (panicked or not), and
+                // workers outlive the scheduler (job_tx closes below).
+                || done_rx.recv().expect("worker result"),
+                |_| {},
+            );
             drop(job_tx); // closes the queue; workers exit before scope joins
             outcome
         });
@@ -480,6 +373,324 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
         // Sessions only pay off within one learning run; free the solvers.
         self.sessions.clear();
         result
+    }
+
+    /// Learns like [`ParallelEngine::learn`], but on the **virtual
+    /// backend**: no worker threads are spawned — issued jobs wait in a
+    /// pending pool and `driver` decides which in-flight job completes
+    /// next, with the chosen job solved synchronously on this thread. The
+    /// engine's thread count bounds the reordering window (only the
+    /// `threads` oldest pending jobs are eligible), so `threads = 1`
+    /// replays the serial schedule. With a deterministic driver the entire
+    /// run — schedule, trace, stats, invariant — is a pure function of the
+    /// driver; see [`crate::sim`] for the contract and hh-vopr for the
+    /// seeded simulator built on this seam.
+    ///
+    /// A driver-injected worker death ([`SimDriver::worker_dies`]) poisons
+    /// the run exactly like a real worker panic: [`Stats::poisoned`] is set
+    /// and `None` returned.
+    pub fn learn_sim(
+        &mut self,
+        properties: &[Predicate],
+        driver: &mut dyn SimDriver,
+    ) -> Option<Invariant> {
+        let t0 = Instant::now();
+        let _learn_span = hh_trace::span!("engine", "engine.learn");
+        self.stats.workers = self.threads.max(1);
+        let prop_ids: Vec<PredId> = properties
+            .iter()
+            .map(|p| self.store.intern(p.clone()))
+            .collect();
+        for &p in &prop_ids {
+            self.discoverer.entry(p).or_insert(None);
+        }
+
+        let netlist = self.netlist;
+        let abd_cfg = self.config.abduction;
+        let encode_cache = self
+            .warm_cache
+            .clone()
+            .or_else(|| self.config.make_encode_cache(netlist));
+        let window = self.threads.max(1);
+        let coi = Coi::new(netlist);
+
+        // Both closures need the driver and the pending pool; RefCells keep
+        // the borrows disjoint per call (the scheduler never re-enters).
+        let pending: RefCell<Vec<Job<'a>>> = RefCell::new(Vec::new());
+        let driver = RefCell::new(driver);
+
+        let result = self.run_scheduler(
+            &prop_ids,
+            &coi,
+            encode_cache.as_ref(),
+            |job| pending.borrow_mut().push(job),
+            || {
+                // The scheduler only collects while uncommitted jobs exist,
+                // and every uncommitted job is either buffered (collected)
+                // or pending — so the pool is non-empty here.
+                let mut pool = pending.borrow_mut();
+                let k = pool.len().min(window);
+                let eligible: Vec<usize> = pool[..k].iter().map(|j| j.job_idx).collect();
+                let mut d = driver.borrow_mut();
+                let pick = d.pick(&eligible).min(eligible.len() - 1);
+                let job = pool.remove(pick);
+                drop(pool);
+                let job_idx = job.job_idx;
+                if d.worker_dies(job_idx) {
+                    d.observe(&SchedEvent::WorkerDeath { job: job_idx });
+                    return JobDone {
+                        job_idx,
+                        result: None,
+                        duration: Duration::ZERO,
+                        session: None,
+                    };
+                }
+                drop(d);
+                let done = solve_job(netlist, &abd_cfg, job, None);
+                driver
+                    .borrow_mut()
+                    .observe(&SchedEvent::Arrival { job: job_idx });
+                done
+            },
+            |ev| driver.borrow_mut().observe(ev),
+        );
+        if let Some(cache) = &encode_cache {
+            self.stats.record_encode_cache(&cache.stats());
+        }
+        self.stats.wall_time = t0.elapsed();
+        self.sessions.clear();
+        result
+    }
+
+    /// The scheduler core shared by both backends. `dispatch` hands an
+    /// issued job to the execution backend; `collect` blocks for (or
+    /// synthesises) the next completion, in *any* order — the reorder
+    /// buffer restores issue order; `observe` sees every scheduler
+    /// transition (the virtual backend's driver hook, a no-op threaded).
+    fn run_scheduler(
+        &mut self,
+        prop_ids: &[PredId],
+        coi: &Coi,
+        encode_cache: Option<&Arc<EncodeCache>>,
+        mut dispatch: impl FnMut(Job<'a>),
+        mut collect: impl FnMut() -> JobDone<'a>,
+        mut observe: impl FnMut(&SchedEvent),
+    ) -> Option<Invariant> {
+        let netlist = self.netlist;
+        let abd_cfg = self.config.abduction;
+        let use_sessions = self.config.sessions;
+        let cone_cache = self.config.cone_cache;
+        let clause_transfer = self.config.clause_transfer;
+        let mut weights: HashMap<PredId, u64> = HashMap::new();
+
+        // Scheduler state. `queue` holds predicates to (re-)issue,
+        // largest cone first (enqueue order as tiebreak); `reorder`
+        // buffers out-of-order completions until their turn to commit.
+        let mut queue: BinaryHeap<(u64, Reverse<usize>, PredId)> = BinaryHeap::new();
+        let mut seq = 0usize;
+        for &p in prop_ids {
+            let w = *weights
+                .entry(p)
+                .or_insert_with(|| cone_weight(netlist, coi, self.store.get(p)));
+            queue.push((w, Reverse(seq), p));
+            seq += 1;
+        }
+        // Seeded memo entries short-circuit their own solve, but their
+        // premises must still be scheduled: a premise whose entry was
+        // invalidated (or never seeded) has to be re-learned before
+        // `assemble` walks through it. Enqueue every seeded premise in
+        // deterministic (target, position) order; already-memoised ones
+        // are skipped at issue, exactly like memo hits.
+        if !self.seeded.is_empty() {
+            let mut seeded: Vec<PredId> = self.seeded.iter().copied().collect();
+            seeded.sort_unstable();
+            for p in seeded {
+                let Some(ab) = self.memo.get(&p).cloned() else {
+                    continue;
+                };
+                for q in ab {
+                    self.discoverer.entry(q).or_insert(None);
+                    let w = *weights
+                        .entry(q)
+                        .or_insert_with(|| cone_weight(netlist, coi, self.store.get(q)));
+                    queue.push((w, Reverse(seq), q));
+                    seq += 1;
+                }
+            }
+        }
+        let mut metas: Vec<JobMeta> = Vec::new();
+        let mut reorder: ReorderBuffer<JobDone<'a>> = ReorderBuffer::new();
+        let mut inflight: HashSet<PredId> = HashSet::new();
+
+        loop {
+            // Issue phase: drain the queue in priority order, skipping
+            // targets that resolved (or got scheduled) since they were
+            // enqueued.
+            while let Some((w, _, p)) = queue.pop() {
+                if self.failed.contains(&p) || self.memo.contains_key(&p) || inflight.contains(&p) {
+                    continue;
+                }
+                let target = self.store.get_arc(p);
+                let mut cand_ids = self.miner.mine(&target, &mut self.store);
+                cand_ids.sort_unstable();
+                cand_ids.dedup();
+                cand_ids.retain(|q| !self.failed.contains(q));
+                let cands = self.store.resolve_arc(&cand_ids);
+                let parent = self.discoverer.get(&p).copied().flatten();
+                let job_idx = metas.len();
+                metas.push(JobMeta {
+                    pred: p,
+                    cand_ids,
+                    parent,
+                });
+                let session = if use_sessions {
+                    let mut s = self.sessions.remove(&p).unwrap_or_else(|| {
+                        make_session(
+                            netlist,
+                            Arc::clone(&target),
+                            &abd_cfg,
+                            encode_cache,
+                            cone_cache,
+                        )
+                    });
+                    if clause_transfer {
+                        s.stage_imports();
+                    }
+                    Some(s)
+                } else {
+                    None
+                };
+                inflight.insert(p);
+                hh_trace::event!("sched", "sched.issue");
+                hh_trace::counter!("sched", "sched.inflight", 1);
+                observe(&SchedEvent::Issue {
+                    job: job_idx,
+                    weight: w,
+                });
+                dispatch(Job {
+                    job_idx,
+                    target,
+                    cands,
+                    session,
+                });
+            }
+
+            // Quiescence: nothing queued, nothing in flight. Sweep
+            // stale solutions (partial backtracking) or finish.
+            if reorder.committed() == metas.len() {
+                if prop_ids.iter().any(|p| self.failed.contains(p)) {
+                    break None;
+                }
+                let mut stale: Vec<PredId> = self
+                    .memo
+                    .iter()
+                    .filter(|(_, ab)| ab.iter().any(|q| self.failed.contains(q)))
+                    .map(|(&p, _)| p)
+                    .collect();
+                if stale.is_empty() {
+                    break Some(self.assemble(prop_ids));
+                }
+                stale.sort_unstable(); // deterministic re-issue order
+                self.stats.backtracks += stale.len();
+                hh_trace::counter!("engine", "engine.backtrack", stale.len());
+                for s in stale {
+                    self.memo.remove(&s);
+                    // A swept seed was *not* reused — its re-solve below
+                    // is fresh work and must be accounted as such.
+                    self.seeded.remove(&s);
+                    let w = *weights
+                        .entry(s)
+                        .or_insert_with(|| cone_weight(netlist, coi, self.store.get(s)));
+                    queue.push((w, Reverse(seq), s));
+                    seq += 1;
+                }
+                continue;
+            }
+
+            // Stream phase: block for the next completion in issue
+            // order, then commit exactly ONE result before issuing
+            // again. Single-step commits keep every issue point a pure
+            // function of the commit count (see module docs); children
+            // mined from the commit land in `queue` and are issued on
+            // the next loop iteration — while other jobs are still
+            // solving.
+            let (commit_seq, done) = if self.canary_shuffle {
+                // CANARY: commit whatever arrived most recently — the bug
+                // the vopr commit-order checker exists to catch.
+                while reorder.buffered() == 0 {
+                    let done = collect();
+                    reorder.insert(done.job_idx, done);
+                }
+                reorder.pop_any_latest().expect("buffered completion")
+            } else {
+                while !reorder.ready() {
+                    let done = collect();
+                    // NOTE: do NOT fold `done.duration` into the occupancy
+                    // accounting here. Several completions can be buffered
+                    // while waiting for the in-order commit, and each of
+                    // them passes through the single-commit step below —
+                    // accounting at both points would double-count every
+                    // buffered job (`worker_busy_time` would exceed the sum
+                    // of task durations).
+                    reorder.insert(done.job_idx, done);
+                }
+                reorder.pop_in_order().expect("checked above")
+            };
+            let meta = &metas[done.job_idx];
+            let Some(result) = done.result else {
+                // The worker solving this job died. Surface the poisoned
+                // run instead of committing a fabricated result: stop
+                // scheduling, mark the stats, return no invariant.
+                self.stats.poisoned = true;
+                hh_trace::event!("engine", "engine.poisoned");
+                break None;
+            };
+            hh_trace::event!("sched", "sched.commit");
+            hh_trace::counter!("sched", "sched.inflight", -1);
+            observe(&SchedEvent::Commit {
+                seq: reorder.committed() - 1,
+                job: done.job_idx,
+            });
+            let _ = commit_seq;
+            // Occupancy: every job is committed exactly once, so this is
+            // the one place worker busy time may be accumulated.
+            self.stats.worker_busy_time += done.duration;
+            self.stats.record_query(done.duration);
+            self.stats.record_abduction(&result.telemetry);
+            let task_idx = self.stats.tasks.len();
+            self.stats.tasks.push(TaskRecord {
+                pred: meta.pred,
+                parent: meta.parent,
+                duration: done.duration,
+                smt_time: done.duration,
+                queries: 1,
+            });
+            self.stats.task_time += done.duration;
+            match result.abduct {
+                None => {
+                    self.failed.insert(meta.pred);
+                }
+                Some(idxs) => {
+                    let ab: Vec<PredId> = idxs.into_iter().map(|i| meta.cand_ids[i]).collect();
+                    for &q in &ab {
+                        self.discoverer.entry(q).or_insert(Some(task_idx));
+                        let w = *weights
+                            .entry(q)
+                            .or_insert_with(|| cone_weight(netlist, coi, self.store.get(q)));
+                        queue.push((w, Reverse(seq), q));
+                        seq += 1;
+                    }
+                    self.memo.insert(meta.pred, ab);
+                }
+            }
+            inflight.remove(&meta.pred);
+            if let Some(s) = done.session {
+                if clause_transfer {
+                    s.export_learnt_to_pool();
+                }
+                self.sessions.insert(meta.pred, s);
+            }
+        }
     }
 
     fn assemble(&self, props: &[PredId]) -> Invariant {
@@ -504,6 +715,7 @@ impl<'a, M: Miner> ParallelEngine<'a, M> {
 mod tests {
     use super::*;
     use crate::mine::CoiMiner;
+    use crate::sim::FifoDriver;
     use hh_netlist::eval::StateValues;
     use hh_netlist::miter::Miter;
     use hh_netlist::Bv;
@@ -663,5 +875,76 @@ mod tests {
         let mut par = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 1);
         let inv = par.learn(&[prop]).unwrap();
         assert!(inv.verify_monolithic(m.netlist()));
+    }
+
+    /// Regression for the worker-panic hang: before the `catch_unwind`
+    /// conversion, a panicking worker never sent its `JobDone` and the
+    /// scheduler blocked forever in `done_rx.recv()`. Now the run must
+    /// terminate, surface `Stats::poisoned`, and return no invariant.
+    #[test]
+    fn worker_panic_poisons_run_instead_of_hanging() {
+        let (base, m) = wide(6);
+        let e = StateValues::initial(m.netlist());
+        let t = base.find_state("t").unwrap();
+        let prop = Predicate::eq(m.left(t), m.right(t));
+        let miner = CoiMiner::new(&m, &[e], None, vec![]);
+        let mut par = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 3);
+        par.inject_worker_panic(2);
+        // Injected panics unwind through catch_unwind; silence the default
+        // hook's backtrace spam for the duration of this call.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = par.learn(&[prop]);
+        std::panic::set_hook(prev);
+        assert!(got.is_none(), "poisoned run must not report an invariant");
+        assert!(par.stats().poisoned, "worker death must surface in Stats");
+    }
+
+    /// The virtual backend with a FIFO driver reproduces the threaded
+    /// engine's invariant and solution table exactly, at every window size.
+    #[test]
+    fn learn_sim_fifo_matches_threaded() {
+        let (base, m) = wide(6);
+        let e = StateValues::initial(m.netlist());
+        let t = base.find_state("t").unwrap();
+        let prop = Predicate::eq(m.left(t), m.right(t));
+
+        let miner = CoiMiner::new(&m, std::slice::from_ref(&e), None, vec![]);
+        let mut threaded = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 4);
+        let inv_t = threaded.learn(std::slice::from_ref(&prop)).unwrap();
+
+        for window in [1, 2, 4] {
+            let miner = CoiMiner::new(&m, std::slice::from_ref(&e), None, vec![]);
+            let mut sim = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), window);
+            let inv_s = sim
+                .learn_sim(std::slice::from_ref(&prop), &mut FifoDriver)
+                .unwrap();
+            assert_eq!(inv_t.preds(), inv_s.preds(), "window {window}");
+            assert_eq!(threaded.solutions(), sim.solutions(), "window {window}");
+            assert!(inv_s.verify_monolithic(m.netlist()));
+        }
+    }
+
+    /// A driver-injected worker death poisons a virtual run just like a
+    /// real panic poisons a threaded one.
+    #[test]
+    fn learn_sim_worker_death_poisons() {
+        struct DieOnSecond;
+        impl SimDriver for DieOnSecond {
+            fn pick(&mut self, _eligible: &[usize]) -> usize {
+                0
+            }
+            fn worker_dies(&mut self, job: usize) -> bool {
+                job == 1
+            }
+        }
+        let (base, m) = wide(5);
+        let e = StateValues::initial(m.netlist());
+        let t = base.find_state("t").unwrap();
+        let prop = Predicate::eq(m.left(t), m.right(t));
+        let miner = CoiMiner::new(&m, &[e], None, vec![]);
+        let mut par = ParallelEngine::new(m.netlist(), miner, EngineConfig::default(), 2);
+        assert!(par.learn_sim(&[prop], &mut DieOnSecond).is_none());
+        assert!(par.stats().poisoned);
     }
 }

@@ -133,6 +133,12 @@ pub struct Stats {
     /// commit; folding at receive time as well would double-count every
     /// buffered job (see `ParallelEngine`'s single-commit loop).
     pub worker_busy_time: Duration,
+    /// Whether a worker died (panicked) mid-job during the run. A poisoned
+    /// run surfaces no invariant: the scheduler stops committing as soon as
+    /// the death reaches it, instead of waiting forever on a `JobDone` that
+    /// will never arrive. Merging ORs — any poisoned shard poisons the
+    /// aggregate.
+    pub poisoned: bool,
 }
 
 impl Stats {
@@ -360,6 +366,7 @@ impl Stats {
         self.imported_clauses += other.imported_clauses;
         self.workers = self.workers.max(other.workers);
         self.worker_busy_time += other.worker_busy_time;
+        self.poisoned |= other.poisoned;
     }
 
     /// Projects the scalar counters under their trace-schema names (see

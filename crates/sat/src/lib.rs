@@ -64,4 +64,6 @@ pub mod proof;
 pub use lit::{Lit, Var};
 pub use minimize::minimize_core;
 pub use proof::{CountingSink, ProofSink};
-pub use solver::{Config, LimitedResult, RestartMode, SolveResult, Solver, SolverStats};
+pub use solver::{
+    BudgetProbe, Config, LimitedResult, RestartMode, SolveResult, Solver, SolverStats,
+};

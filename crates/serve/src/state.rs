@@ -820,6 +820,25 @@ impl ServeState {
     /// checkpoints are prevented by writing every file to a `.tmp` sibling
     /// and renaming.
     pub fn checkpoint(&self) -> std::io::Result<CheckpointSummary> {
+        self.checkpoint_inner(None)
+    }
+
+    /// Fault-injection seam (hh-vopr checkpoint-crash fault): runs a
+    /// normal checkpoint until the `crash_after`-th atomic file write
+    /// (0-based), which writes its `.tmp` sibling, syncs it, and then
+    /// fails **before** the rename — byte-for-byte the on-disk state a
+    /// process killed between tmp-write and rename leaves behind. Returns
+    /// the injected error; [`ServeState::restore`] must clean the debris
+    /// and come back warm from the last completed checkpoint.
+    #[doc(hidden)]
+    pub fn checkpoint_crash_after(&self, crash_after: usize) -> std::io::Result<CheckpointSummary> {
+        self.checkpoint_inner(Some(crash_after))
+    }
+
+    fn checkpoint_inner(&self, crash_after: Option<usize>) -> std::io::Result<CheckpointSummary> {
+        let mut fault = WriteFault {
+            until_crash: crash_after,
+        };
         let Some(root) = &self.state_dir else {
             return Ok(CheckpointSummary::default());
         };
@@ -847,7 +866,7 @@ impl ServeState {
                 }
             }
         }
-        write_atomic(&version_path, STATE_VERSION.as_bytes())?;
+        fault.write(&version_path, STATE_VERSION.as_bytes())?;
         let mut summary = CheckpointSummary::default();
         let mut names: Vec<&String> = self.designs.keys().collect();
         names.sort();
@@ -862,7 +881,7 @@ impl ServeState {
                     Json::Str(format!("{:016x}", entry.fingerprint)),
                 );
             }
-            write_atomic(&ddir.join("spec.json"), spec.to_string().as_bytes())?;
+            fault.write(&ddir.join("spec.json"), spec.to_string().as_bytes())?;
             summary.designs += 1;
             let mut job_ids: Vec<&String> = entry.jobs.keys().collect();
             job_ids.sort();
@@ -889,7 +908,7 @@ impl ServeState {
                     ("proved", Json::Bool(job.invariant.is_some())),
                     ("num_examples", Json::Int(job.num_examples as i64)),
                 ]);
-                write_atomic(&jdir.join("job.json"), meta.to_string().as_bytes())?;
+                fault.write(&jdir.join("job.json"), meta.to_string().as_bytes())?;
 
                 let nl = job.miter.netlist();
                 let mut sol = String::new();
@@ -905,7 +924,7 @@ impl ServeState {
                     sol.push_str(".\n");
                     summary.solutions += 1;
                 }
-                write_atomic(&jdir.join("solutions.txt"), sol.as_bytes())?;
+                fault.write(&jdir.join("solutions.txt"), sol.as_bytes())?;
 
                 let mut inv = String::new();
                 if let Some(preds) = &job.invariant {
@@ -914,7 +933,7 @@ impl ServeState {
                         inv.push('\n');
                     }
                 }
-                write_atomic(&jdir.join("invariant.txt"), inv.as_bytes())?;
+                fault.write(&jdir.join("invariant.txt"), inv.as_bytes())?;
 
                 let mut pools = String::new();
                 for (sig, clauses) in job.cache.dump_pools() {
@@ -934,7 +953,7 @@ impl ServeState {
                         summary.pool_clauses += 1;
                     }
                 }
-                write_atomic(&jdir.join("pools.txt"), pools.as_bytes())?;
+                fault.write(&jdir.join("pools.txt"), pools.as_bytes())?;
             }
         }
         hh_trace::counter!("serve", "serve.checkpoint", 1);
@@ -950,7 +969,21 @@ impl ServeState {
         let Some(root) = self.state_dir.clone() else {
             return (summary, warnings);
         };
-        let version = std::fs::read_to_string(root.join("VERSION")).unwrap_or_default();
+        let version_path = root.join("VERSION");
+        // Claim-at-boot hygiene: a `VERSION.tmp` carrying our own marker is
+        // debris from a checkpoint killed before its very first rename.
+        // Reject and remove it so it can never be mistaken for a claim.
+        let version_tmp = version_path.with_extension("tmp");
+        if std::fs::read_to_string(&version_tmp).is_ok_and(|s| s.trim() == STATE_VERSION) {
+            match std::fs::remove_file(&version_tmp) {
+                Ok(()) => warnings.push(format!(
+                    "removed half-written checkpoint debris {}",
+                    version_tmp.display()
+                )),
+                Err(e) => warnings.push(format!("removing {}: {e}", version_tmp.display())),
+            }
+        }
+        let version = std::fs::read_to_string(&version_path).unwrap_or_default();
         if version.trim() != STATE_VERSION {
             if !version.is_empty() {
                 warnings.push(format!(
@@ -976,6 +1009,10 @@ impl ServeState {
             }
             return (summary, warnings);
         }
+        // The tree is ours: clear any `*.tmp` siblings a mid-checkpoint
+        // crash left behind, so a half-written file can never shadow the
+        // last completed one.
+        sweep_tmp_debris(&root, &mut warnings);
         let designs_root = root.join("designs");
         let Ok(dirs) = std::fs::read_dir(&designs_root) else {
             return (summary, warnings);
@@ -1195,4 +1232,53 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)
+}
+
+/// Counts down atomic writes and, on the fatal one, stops between the
+/// tmp-write and the rename — exactly the on-disk state a process killed
+/// mid-[`write_atomic`] leaves behind. `until_crash: None` is a plain
+/// pass-through, so the production path pays nothing.
+struct WriteFault {
+    until_crash: Option<usize>,
+}
+
+impl WriteFault {
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(n) = self.until_crash.as_mut() {
+            if *n == 0 {
+                let tmp = path.with_extension("tmp");
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(bytes)?;
+                f.sync_all()?;
+                return Err(std::io::Error::other(
+                    "injected checkpoint crash (tmp written, rename skipped)",
+                ));
+            }
+            *n -= 1;
+        }
+        write_atomic(path, bytes)
+    }
+}
+
+/// Removes `*.tmp` debris that a checkpoint killed between tmp-write and
+/// rename leaves behind. Only ever called on a tree this daemon owns (the
+/// VERSION marker, or its own half-written marker, is present).
+fn sweep_tmp_debris(dir: &Path, warnings: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            sweep_tmp_debris(&path, warnings);
+        } else if path.extension().is_some_and(|e| e == "tmp") {
+            match std::fs::remove_file(&path) {
+                Ok(()) => warnings.push(format!(
+                    "removed half-written checkpoint debris {}",
+                    path.display()
+                )),
+                Err(e) => warnings.push(format!("removing {}: {e}", path.display())),
+            }
+        }
+    }
 }

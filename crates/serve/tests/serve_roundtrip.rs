@@ -8,7 +8,7 @@ use hh_serve::json::Json;
 use hh_serve::proto::{read_frame, write_frame, PROTOCOL_VERSION};
 use hh_serve::server::{Bind, Server, ServerConfig};
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 // ---------------------------------------------------------------------------
 // Harness
@@ -406,6 +406,112 @@ fn restart_from_checkpoint_reproduces_answers() {
     daemon2.stop();
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every `*.tmp` file under `dir`, recursively.
+fn tmp_debris(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.filter_map(|e| e.ok()) {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "tmp") {
+                found.push(p);
+            }
+        }
+    }
+    found
+}
+
+/// A checkpoint killed between tmp-write and rename leaves a synced `.tmp`
+/// sibling and no renamed file. Whichever of the six per-job writes the
+/// kill lands on, a restart must sweep the debris and come back warm from
+/// the last completed checkpoint, answering identically to pre-crash.
+#[test]
+fn killed_mid_checkpoint_restarts_warm_from_last_good_state() {
+    use hh_serve::state::ServeState;
+
+    let dir = temp_dir("crash");
+    let daemon = Daemon::start(Some(dir.clone()));
+    let mut c = daemon.client();
+    let cold = c.request("learn", toy_learn_fields("toy", TOY_V1)).unwrap();
+    let inv = str_arr(&cold, "invariant");
+    daemon.stop(); // checkpoints on the way down: the last good state
+
+    // Re-run the checkpoint, killing it at each atomic write in turn
+    // (VERSION, spec, job meta, solutions, invariant, pools).
+    for crash_after in 0..6 {
+        let mut state = ServeState::new(Some(dir.clone()));
+        let (restored, warnings) = state.restore();
+        assert_eq!(restored.jobs, 1, "warm state restores before the crash");
+        assert!(warnings.is_empty(), "dir was clean: {warnings:?}");
+        let err = state
+            .checkpoint_crash_after(crash_after)
+            .expect_err("the injected crash must surface");
+        assert!(err.to_string().contains("injected checkpoint crash"));
+        assert!(
+            !tmp_debris(&dir).is_empty(),
+            "crash at write {crash_after} leaves tmp debris"
+        );
+
+        let mut after = ServeState::new(Some(dir.clone()));
+        let (restored, warnings) = after.restore();
+        assert_eq!(
+            restored.jobs, 1,
+            "crash at write {crash_after} must not lose the last good state"
+        );
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("removed half-written checkpoint debris")),
+            "sweep must report the debris: {warnings:?}"
+        );
+        assert!(tmp_debris(&dir).is_empty(), "sweep leaves nothing behind");
+    }
+
+    // Leave one crash un-swept and boot a real daemon on the debris: the
+    // server restore path must clean it and answer warm and identically.
+    let mut state = ServeState::new(Some(dir.clone()));
+    state.restore();
+    state.checkpoint_crash_after(3).expect_err("injected");
+    assert!(!tmp_debris(&dir).is_empty());
+
+    let daemon2 = Daemon::start(Some(dir.clone()));
+    let mut c2 = daemon2.client();
+    let warm = c2
+        .request("learn", toy_learn_fields("toy", TOY_V1))
+        .unwrap();
+    assert_eq!(warm.get("warm_hit").unwrap(), &Json::Bool(true));
+    assert_eq!(i64_field(&warm, "smt_queries"), 0, "restart keeps warmth");
+    assert_eq!(str_arr(&warm, "invariant"), inv, "identical to pre-crash");
+    daemon2.stop();
+    assert!(tmp_debris(&dir).is_empty(), "boot swept the debris");
+
+    // Claim-at-boot rejection: a brand-new dir whose very first checkpoint
+    // died at the VERSION write holds only `VERSION.tmp`. Boot must remove
+    // it — never mistake it for a claim — then claim the dir cleanly.
+    let fresh = temp_dir("crash-fresh");
+    let state = ServeState::new(Some(fresh.clone()));
+    state.checkpoint_crash_after(0).expect_err("injected");
+    assert!(fresh.join("VERSION.tmp").exists());
+    assert!(!fresh.join("VERSION").exists());
+    let mut state2 = ServeState::new(Some(fresh.clone()));
+    let (_, w) = state2.restore();
+    assert!(
+        w.iter()
+            .any(|m| m.contains("removed half-written checkpoint debris")),
+        "rejection must be reported: {w:?}"
+    );
+    assert!(fresh.join("VERSION").exists(), "claimed after sweeping");
+    assert!(!fresh.join("VERSION.tmp").exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh);
 }
 
 // ---------------------------------------------------------------------------

@@ -117,6 +117,9 @@ pub struct CacheStats {
     pub exported_clauses: u64,
     /// Learnt clauses imported from pools into fresh sessions.
     pub imported_clauses: u64,
+    /// Recorded base encodings dropped by [`EncodeCache::evict`] /
+    /// [`EncodeCache::evict_encodings`].
+    pub evictions: u64,
 }
 
 /// Thread-shared cross-target encoding cache + learnt-clause pools.
@@ -136,6 +139,7 @@ pub struct EncodeCache {
     clauses_saved: AtomicU64,
     exported: AtomicU64,
     imported: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl EncodeCache {
@@ -152,6 +156,7 @@ impl EncodeCache {
             clauses_saved: AtomicU64::new(0),
             exported: AtomicU64::new(0),
             imported: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -292,7 +297,45 @@ impl EncodeCache {
             clauses_saved: self.clauses_saved.load(Ordering::Relaxed),
             exported_clauses: self.exported.load(Ordering::Relaxed),
             imported_clauses: self.imported.load(Ordering::Relaxed),
+            evictions: self.evicted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Drops the recorded base encoding for `key`, if present; returns
+    /// whether an entry was evicted. Learnt-clause pools are untouched.
+    ///
+    /// Eviction is always *safe*, only ever a performance event: entries
+    /// are handed out as `Arc` snapshots, so sessions replaying the
+    /// encoding at eviction time keep their copy, and the next lookup of
+    /// the signature simply misses and re-records. hh-vopr's eviction-race
+    /// fault calls this at adversarial points mid-run and asserts the
+    /// learned invariant is unchanged while misses increase.
+    pub fn evict(&self, key: &[u64]) -> bool {
+        let removed = self.entries.lock().unwrap().remove(key).is_some();
+        if removed {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drops every recorded base encoding (pools are kept). Returns how
+    /// many entries were evicted. Same safety argument as
+    /// [`EncodeCache::evict`].
+    pub fn evict_encodings(&self) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        let n = entries.len();
+        entries.clear();
+        self.evicted.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// The signatures of the currently recorded base encodings, sorted —
+    /// the deterministic key list fault injectors pick eviction victims
+    /// from.
+    pub fn encoding_keys(&self) -> Vec<Vec<u64>> {
+        let mut keys: Vec<Vec<u64>> = self.entries.lock().unwrap().keys().cloned().collect();
+        keys.sort();
+        keys
     }
 }
 

@@ -427,6 +427,63 @@ impl Trace {
         v
     }
 
+    /// A replay-equality digest of the event log: FNV-1a over each
+    /// thread's event *sequence* — name, category, payload kind, and
+    /// counter value, in ring order — with the per-thread digests then
+    /// combined order-insensitively. Timestamps, durations and thread ids
+    /// are excluded: they vary run to run even when the schedule is
+    /// bit-identical, while thread *numbering* depends only on registration
+    /// order, which a deterministic schedule need not fix. Two runs that
+    /// make the same decisions in the same per-thread order therefore hash
+    /// equal, and any divergence in what was done (or in events lost to
+    /// ring wraparound) changes the digest. This is the seam hh-vopr's
+    /// replay-determinism checker asserts on.
+    pub fn event_log_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        // Per-thread digests over the per-thread subsequences of `events`
+        // (drain order preserves each ring's internal order).
+        let mut digests: Vec<u64> = Vec::new();
+        let mut tids: Vec<u64> = Vec::new();
+        for e in &self.events {
+            let slot = match tids.iter().position(|&t| t == e.tid) {
+                Some(i) => i,
+                None => {
+                    tids.push(e.tid);
+                    digests.push(OFFSET);
+                    digests.len() - 1
+                }
+            };
+            let h = &mut digests[slot];
+            mix(h, e.name.as_bytes());
+            mix(h, &[0xff]);
+            mix(h, e.cat.as_bytes());
+            match e.kind {
+                EventKind::Span { .. } => mix(h, &[1]),
+                EventKind::Instant => mix(h, &[2]),
+                EventKind::Counter { value } => {
+                    mix(h, &[3]);
+                    mix(h, &value.to_le_bytes());
+                }
+            }
+        }
+        // Order-insensitive combine: sort the digests, then chain-hash so
+        // the multiset (not just the XOR) is pinned down.
+        digests.sort_unstable();
+        let mut out = OFFSET;
+        for d in digests {
+            mix(&mut out, &d.to_le_bytes());
+        }
+        mix(&mut out, &self.dropped.to_le_bytes());
+        out
+    }
+
     /// Writes the trace as Chrome `trace_event` JSON (the object form with a
     /// `traceEvents` array, as accepted by `chrome://tracing` and Perfetto).
     pub fn write_chrome_json<W: Write>(&self, w: &mut W) -> io::Result<()> {

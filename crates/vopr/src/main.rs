@@ -1,0 +1,94 @@
+//! The `vopr` binary: seeded whole-engine simulation from the command line.
+//!
+//! ```text
+//! vopr [--seed N] [--count N] [--canary] [--minimize] [--no-serve] [--quiet]
+//! ```
+//!
+//! Runs seeds `N .. N+count` (default seed 0, count 1) with every invariant
+//! checker on, printing one line per seed; exits nonzero if any seed
+//! produced a violation. `--minimize` shrinks each failing seed's fault
+//! schedule to the shortest still-failing prefix before reporting.
+//! `--canary` reintroduces the commit-order shuffle bug — a self-test that
+//! must *fail*.
+
+use hh_vopr::harness::{self, VoprOptions};
+
+fn main() {
+    let mut seed: u64 = 0;
+    let mut count: u64 = 1;
+    let mut opts = VoprOptions::default();
+    let mut do_minimize = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} expects an integer argument")))
+        };
+        match arg.as_str() {
+            "--seed" => seed = num("--seed"),
+            "--count" => count = num("--count"),
+            "--canary" => opts.canary = true,
+            "--minimize" => do_minimize = true,
+            "--no-serve" => opts.serve = false,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "vopr: deterministic whole-engine simulation\n\n\
+                     usage: vopr [--seed N] [--count N] [--canary] \
+                     [--minimize] [--no-serve] [--quiet]\n\n\
+                     --seed N      first seed (default 0)\n\
+                     --count N     number of consecutive seeds (default 1)\n\
+                     --canary      reintroduce the commit-order bug; must fail\n\
+                     --minimize    shrink failing fault schedules\n\
+                     --no-serve    skip the serve checkpoint scenario\n\
+                     --quiet       only print failing seeds"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other} (try --help)")),
+        }
+    }
+
+    let mut failures = 0u64;
+    for s in seed..seed.saturating_add(count) {
+        let report = harness::run_seed(s, &opts);
+        let ok = report.violations.is_empty();
+        if !ok {
+            failures += 1;
+        }
+        if !ok || !quiet {
+            println!(
+                "seed {s:>6}  {}  checks={:<3} digest={:016x}  faults={}",
+                if ok { "ok  " } else { "FAIL" },
+                report.checks,
+                report.digest(),
+                report.plan,
+            );
+        }
+        if !ok {
+            for v in &report.violations {
+                println!("             violation: {v}");
+            }
+            if do_minimize {
+                let (len, prefix, violations) = harness::minimize(s, &opts);
+                println!("             minimized: {len} fault(s) suffice: {prefix}");
+                if let Some(v) = violations.first() {
+                    println!("             under prefix: {v}");
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("vopr: {failures} of {count} seed(s) violated an invariant");
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("vopr: {msg}");
+    std::process::exit(2);
+}
